@@ -1,0 +1,310 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§VI), plus ablations of Drowsy-DC's design choices and
+// micro-benchmarks of the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench reports the headline quantity of the
+// corresponding artifact as a custom metric, so `go test -bench` output
+// doubles as a results table.
+package drowsydc
+
+import (
+	"io"
+	"testing"
+
+	"drowsydc/internal/core"
+	"drowsydc/internal/dcsim"
+	"drowsydc/internal/drowsy"
+	"drowsydc/internal/exp"
+	"drowsydc/internal/neat"
+	"drowsydc/internal/simtime"
+	"drowsydc/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Per-figure / per-table benches
+
+// BenchmarkFigure1Traces regenerates the example-workload series.
+func BenchmarkFigure1Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFigure1(6)
+		if len(r.Levels) != 2 {
+			b.Fatal("bad figure 1")
+		}
+	}
+}
+
+// BenchmarkFigure2Colocation regenerates the colocation matrix.
+func BenchmarkFigure2Colocation(b *testing.B) {
+	var v34 float64
+	for i := 0; i < b.N; i++ {
+		res := exp.RunTestbedPolicy("drowsy-full", 7, true, true)
+		v34 = res.Coloc.Fraction(2, 3)
+	}
+	b.ReportMetric(100*v34, "V3V4-coloc-%")
+}
+
+// BenchmarkTable1SuspendedTime regenerates Table I.
+func BenchmarkTable1SuspendedTime(b *testing.B) {
+	var drowsyFrac, neatFrac float64
+	for i := 0; i < b.N; i++ {
+		drowsyFrac = exp.RunTestbedPolicy("drowsy-full", 7, true, true).GlobalSuspFrac
+		neatFrac = exp.RunTestbedPolicy("neat", 7, true, false).GlobalSuspFrac
+	}
+	b.ReportMetric(100*drowsyFrac, "drowsy-susp-%")
+	b.ReportMetric(100*neatFrac, "neat-susp-%")
+}
+
+// BenchmarkEnergyTestbed regenerates the §VI-A-3 energy comparison.
+func BenchmarkEnergyTestbed(b *testing.B) {
+	var d, n3, nv float64
+	for i := 0; i < b.N; i++ {
+		d = exp.RunTestbedPolicy("drowsy-full", 7, true, true).EnergyKWh
+		n3 = exp.RunTestbedPolicy("neat", 7, true, false).EnergyKWh
+		nv = exp.RunTestbedPolicy("neat", 7, false, false).EnergyKWh
+	}
+	b.ReportMetric(d, "drowsy-kWh")
+	b.ReportMetric(n3, "neatS3-kWh")
+	b.ReportMetric(nv, "neat-kWh")
+}
+
+// BenchmarkFigure3Suspend regenerates the suspending-module study.
+func BenchmarkFigure3Suspend(b *testing.B) {
+	var osc int
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFigure3()
+		osc = r.SuspendsWithoutGrace - r.SuspendsWithGrace
+	}
+	b.ReportMetric(float64(osc), "oscillations-prevented")
+}
+
+// BenchmarkFigure4Model regenerates the idleness-model quality curves
+// (one year per iteration to keep bench time reasonable; drowsyctl
+// figure4 runs the full three years).
+func BenchmarkFigure4Model(b *testing.B) {
+	var f float64
+	for i := 0; i < b.N; i++ {
+		traces := exp.RunFigure4(1)
+		f = traces[0].Final.FMeasure()
+	}
+	b.ReportMetric(100*f, "backup-F-%")
+}
+
+// BenchmarkSimulationSweep regenerates the §VI-B sweep (one compact
+// configuration per iteration).
+func BenchmarkSimulationSweep(b *testing.B) {
+	cfg := exp.SimConfig{Hosts: 8, Slots: 4, Days: 14,
+		Fractions: []float64{0.5, 1.0}, RebalanceEvery: 6}
+	var improv float64
+	for i := 0; i < b.N; i++ {
+		pts := exp.RunSimulation(cfg)
+		improv = pts[len(pts)-1].ImprovVsNeat
+	}
+	b.ReportMetric(improv, "improv-vs-neat-%")
+}
+
+// BenchmarkConsolidationScalingDrowsy measures Drowsy-DC's per-round
+// cost growth (§VII: O(n)).
+func BenchmarkConsolidationScalingDrowsy(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(vmCount(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts := exp.RunScaling([]int{n})
+				_ = pts[0].DrowsyIPs
+			}
+		})
+	}
+}
+
+// BenchmarkConsolidationScalingOasis measures the O(n²) comparator.
+func BenchmarkConsolidationScalingOasis(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(vmCount(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts := exp.RunScaling([]int{n})
+				_ = pts[0].OasisPairs
+			}
+		})
+	}
+}
+
+func vmCount(n int) string {
+	switch {
+	case n >= 1000:
+		return "vms-1024"
+	case n >= 256:
+		return "vms-256"
+	default:
+		return "vms-64"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices called out in DESIGN.md)
+
+// BenchmarkAblationGraceTime compares suspend-transition counts with
+// and without the anti-oscillation grace time.
+func BenchmarkAblationGraceTime(b *testing.B) {
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFigure3()
+		with, without = r.SuspendsWithGrace, r.SuspendsWithoutGrace
+	}
+	b.ReportMetric(float64(with), "suspends-with-grace")
+	b.ReportMetric(float64(without), "suspends-without-grace")
+}
+
+// BenchmarkAblationNaiveResume compares the optimized (800 ms) and
+// naive (1500 ms) resume paths on worst-case request latency.
+func BenchmarkAblationNaiveResume(b *testing.B) {
+	run := func(naive bool) float64 {
+		c := exp.BuildCluster(4, 16, 4, 2, exp.TestbedSpecs())
+		res := dcsim.NewRunner(dcsim.Config{
+			Hours: 7 * 24, EnableSuspend: true, UseGrace: true, NaiveResume: naive,
+		}, c, exp.NewPolicy("drowsy-full")).Run()
+		return res.WakeLatency.Max()
+	}
+	var fast, slow float64
+	for i := 0; i < b.N; i++ {
+		fast = run(false)
+		slow = run(true)
+	}
+	b.ReportMetric(1000*fast, "optimized-ms")
+	b.ReportMetric(1000*slow, "naive-ms")
+}
+
+// BenchmarkAblationIPPlacement isolates the value of the IP-based
+// consolidation itself: Drowsy-DC vs Neat, both with identical S3
+// support (the paper's Table I comparison).
+func BenchmarkAblationIPPlacement(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		d := exp.RunTestbedPolicy("drowsy-full", 7, true, false) // grace off: isolate placement
+		n := exp.RunTestbedPolicy("neat", 7, true, false)
+		gain = 100 * (1 - d.EnergyKWh/n.EnergyKWh)
+	}
+	b.ReportMetric(gain, "placement-saving-%")
+}
+
+// BenchmarkAblationWeightLearning compares the idleness model's
+// F-measure on the comics trace with learned weights vs frozen uniform
+// weights (DescentRate ≈ 0 disables learning in practice).
+func BenchmarkAblationWeightLearning(b *testing.B) {
+	run := func(rate float64) float64 {
+		g := trace.ComicStrips(0.5)
+		m := core.NewWithOptions(core.Options{DescentRate: rate})
+		var conf struct{ tp, fp, tn, fn int }
+		for h := simtime.Hour(0); h < 2*simtime.HoursPerYear; h++ {
+			st := simtime.Decompose(h)
+			a := g.Activity(h)
+			pred := m.PredictIdle(st)
+			idle := a < core.DefaultNoiseFloor
+			switch {
+			case pred && idle:
+				conf.tp++
+			case pred && !idle:
+				conf.fp++
+			case !pred && idle:
+				conf.fn++
+			default:
+				conf.tn++
+			}
+			m.Observe(st, a)
+		}
+		r := float64(conf.tp) / float64(conf.tp+conf.fn)
+		p := float64(conf.tp) / float64(conf.tp+conf.fp)
+		return 2 * r * p / (r + p)
+	}
+	var learned, frozen float64
+	for i := 0; i < b.N; i++ {
+		learned = run(0.1)
+		frozen = run(1e-12)
+	}
+	b.ReportMetric(100*learned, "F-learned-%")
+	b.ReportMetric(100*frozen, "F-frozen-%")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of hot paths
+
+// BenchmarkModelObserve is the hourly model-builder update.
+func BenchmarkModelObserve(b *testing.B) {
+	m := core.New()
+	g := trace.RealTrace(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := simtime.Hour(i % simtime.HoursPerYear)
+		m.Observe(simtime.Decompose(h), g.Activity(h))
+	}
+}
+
+// BenchmarkModelIP is the per-decision IP computation.
+func BenchmarkModelIP(b *testing.B) {
+	m := core.New()
+	for h := simtime.Hour(0); h < 2000; h++ {
+		m.Observe(simtime.Decompose(h), 0.3)
+	}
+	st := simtime.Decompose(99999)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.IP(st)
+	}
+}
+
+// BenchmarkRebalanceDrowsy is one full-relocation round on a mid-size
+// cluster with trained models.
+func BenchmarkRebalanceDrowsy(b *testing.B) {
+	c := exp.BuildCluster(16, 16, 8, 4, exp.TestbedSpecs())
+	p := drowsy.New(drowsy.Options{FullRelocation: true})
+	for h := simtime.Hour(0); h < 48; h++ {
+		for _, v := range c.VMs() {
+			v.Observe(h, v.Activity(h))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rebalance(c, simtime.Hour(48+i))
+	}
+}
+
+// BenchmarkRebalanceNeat is Neat's detection + selection + placement
+// round.
+func BenchmarkRebalanceNeat(b *testing.B) {
+	c := exp.BuildCluster(16, 16, 8, 4, exp.TestbedSpecs())
+	p := neat.New(neat.Options{})
+	for h := simtime.Hour(0); h < 48; h++ {
+		p.RecordHour(c, h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rebalance(c, simtime.Hour(48+i))
+	}
+}
+
+// BenchmarkFullWeekSimulation is the end-to-end runtime: a testbed week
+// per iteration.
+func BenchmarkFullWeekSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := exp.RunTestbedPolicy("drowsy-full", 7, true, true)
+		if res.EnergyKWh <= 0 {
+			b.Fatal("no energy")
+		}
+	}
+}
+
+// BenchmarkScenarioFacade exercises the public API end to end.
+func BenchmarkScenarioFacade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := Testbed()
+		s.Days = 2
+		rep, err := s.Run(PolicyDrowsyFull)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Summary(io.Discard)
+	}
+}

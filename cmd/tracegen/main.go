@@ -1,0 +1,64 @@
+// Command tracegen emits the activity traces used by the experiments as
+// CSV: one row per hour with calendar coordinates and per-trace levels.
+//
+// Usage:
+//
+//	tracegen [-set figure1|table2] [-hours N] [-o file]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drowsydc/internal/simtime"
+	"drowsydc/internal/trace"
+)
+
+func main() {
+	set := flag.String("set", "figure1", "trace set: figure1 or table2")
+	hours := flag.Int("hours", 6*24, "number of hours to generate")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var gens []trace.Generator
+	switch *set {
+	case "figure1":
+		gens = trace.Figure1()
+	case "table2":
+		gens = trace.TableII()
+	default:
+		log.Fatalf("tracegen: unknown set %q", *set)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("tracegen: close: %v", err)
+			}
+		}()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	fmt.Fprint(w, "hour,year,month,day,hour_of_day,day_of_week")
+	for _, g := range gens {
+		fmt.Fprintf(w, ",%s", g.Name)
+	}
+	fmt.Fprintln(w)
+	for h := simtime.Hour(0); h < simtime.Hour(*hours); h++ {
+		st := simtime.Decompose(h)
+		fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d", h, st.Year, st.Month+1, st.DayOfMonth+1, st.HourOfDay, st.DayOfWeek)
+		for _, g := range gens {
+			fmt.Fprintf(w, ",%.4f", g.Activity(h))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,110 @@
+package drowsydc
+
+import (
+	"strings"
+	"testing"
+
+	"drowsydc/internal/simtime"
+)
+
+func TestIdlenessModelFacade(t *testing.T) {
+	m := NewIdlenessModel()
+	st := simtime.Decompose(Date(0, 0, 0, 3))
+	if m.PredictIdle(st) {
+		t.Fatal("fresh model should be undetermined")
+	}
+	for d := 0; d < 10; d++ {
+		m.Observe(simtime.Decompose(Date(0, 0, d, 3)), 0)
+	}
+	if !m.PredictIdle(simtime.Decompose(Date(0, 0, 10, 3))) {
+		t.Fatal("should predict idle after repeated idleness")
+	}
+}
+
+func TestTestbedScenarioRuns(t *testing.T) {
+	s := Testbed()
+	s.Days = 3
+	rep, err := s.Run(PolicyDrowsyFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EnergyKWh <= 0 || rep.Days != 3 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.ColocationFraction(0, 0) != 1 {
+		t.Fatal("colocation diagonal should be 1")
+	}
+	var b strings.Builder
+	rep.Summary(&b)
+	if !strings.Contains(b.String(), "drowsy-full") {
+		t.Fatalf("summary: %s", b.String())
+	}
+}
+
+func TestPolicyComparison(t *testing.T) {
+	run := func(p Policy, suspend bool) float64 {
+		s := Testbed()
+		s.Days = 7
+		s.Suspend = suspend
+		s.Grace = p == PolicyDrowsy || p == PolicyDrowsyFull
+		rep, err := s.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.EnergyKWh
+	}
+	drowsy := run(PolicyDrowsyFull, true)
+	neatS3 := run(PolicyNeat, true)
+	vanilla := run(PolicyNeat, false)
+	if !(drowsy < neatS3 && neatS3 < vanilla) {
+		t.Fatalf("energy ordering: %.2f / %.2f / %.2f", drowsy, neatS3, vanilla)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	s := NewScenario(2, 16, 4, 2)
+	if _, err := s.Run(PolicyNeat); err == nil {
+		t.Fatal("empty scenario should fail")
+	}
+	s.AddVM(VM{Name: "bad", MemGB: 0, VCPUs: 1, Workload: WorkloadDailyBackup(0.5), InitialHost: -1})
+	if _, err := s.Run(PolicyNeat); err == nil {
+		t.Fatal("invalid VM should fail")
+	}
+	s2 := NewScenario(2, 16, 4, 2)
+	s2.AddVM(VM{Name: "v", MemGB: 4, VCPUs: 1, Workload: WorkloadDailyBackup(0.5), InitialHost: 5})
+	if _, err := s2.Run(PolicyNeat); err == nil {
+		t.Fatal("out-of-range pin should fail")
+	}
+	s3 := NewScenario(1, 16, 4, 2)
+	s3.Days = 0
+	s3.AddVM(VM{Name: "v", MemGB: 4, VCPUs: 1, Workload: WorkloadDailyBackup(0.5), InitialHost: -1})
+	if _, err := s3.Run(PolicyNeat); err == nil {
+		t.Fatal("zero days should fail")
+	}
+}
+
+func TestCustomScenario(t *testing.T) {
+	s := NewScenario(2, 32, 8, 4)
+	s.Days = 2
+	s.AddVM(VM{Name: "web", MemGB: 4, VCPUs: 2, Workload: WorkloadProduction(1), InitialHost: -1})
+	s.AddVM(VM{Name: "backup", MemGB: 4, VCPUs: 2, Workload: WorkloadDailyBackup(0.5), TimerDriven: true, InitialHost: -1})
+	s.AddVM(VM{Name: "api", MemGB: 4, VCPUs: 2, Workload: WorkloadLLMU(5), MostlyUsed: true, InitialHost: -1})
+	s.AddVM(VM{Name: "season", MemGB: 4, VCPUs: 2, Workload: WorkloadSeasonal(), InitialHost: -1})
+	s.AddVM(VM{Name: "comics", MemGB: 4, VCPUs: 2, Workload: WorkloadComicStrips(0.5), InitialHost: -1})
+	rep, err := s.Run(PolicyDrowsy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SuspendedFraction < 0 || rep.SuspendedFraction > 1 {
+		t.Fatalf("suspended fraction %v", rep.SuspendedFraction)
+	}
+}
+
+func TestStartOffset(t *testing.T) {
+	s := Testbed()
+	s.Days = 1
+	s.Start = Date(1, 5, 0, 0)
+	if _, err := s.Run(PolicyNeat); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Datacenter-sim: the §VI-B-style comparison at datacenter scale. A
+// mixed LLMI/LLMU population runs under the four configurations the
+// paper evaluates (Drowsy-DC, Neat with S3, vanilla Neat, Oasis) and
+// the energy/suspension outcomes are tabulated, plus the O(n) vs O(n²)
+// consolidation-cost comparison of §VII.
+//
+//	go run ./examples/datacenter-sim [-hosts N] [-days N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drowsydc/internal/exp"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 8, "number of hosts")
+	days := flag.Int("days", 14, "simulated days")
+	flag.Parse()
+
+	cfg := exp.SimConfig{
+		Hosts:          *hosts,
+		Slots:          4,
+		Days:           *days,
+		Fractions:      []float64{0.25, 0.5, 0.75, 1.0},
+		RebalanceEvery: 6,
+	}
+	fmt.Printf("Sweeping LLMI fraction on %d hosts over %d days...\n\n", *hosts, *days)
+	pts := exp.RunSimulation(cfg)
+	exp.RenderSimulation(os.Stdout, cfg, pts)
+
+	fmt.Println()
+	exp.RenderScaling(os.Stdout, exp.RunScaling([]int{32, 64, 128}))
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a small datacenter, run it for a week under
+// Drowsy-DC and under plain Neat, and compare energy and suspension.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"drowsydc"
+)
+
+func main() {
+	build := func() *drowsydc.Scenario {
+		// Three hosts (16 GB, 4 vCPUs, 2 VM slots each), six VMs: one
+		// busy API pair and four mostly-idle services.
+		s := drowsydc.NewScenario(3, 16, 4, 2)
+		s.Days = 7
+		s.AddVM(drowsydc.VM{Name: "api-1", MemGB: 6, VCPUs: 2, Workload: drowsydc.WorkloadLLMU(1), MostlyUsed: true, InitialHost: 0})
+		s.AddVM(drowsydc.VM{Name: "api-2", MemGB: 6, VCPUs: 2, Workload: drowsydc.WorkloadLLMU(2), MostlyUsed: true, InitialHost: 1})
+		s.AddVM(drowsydc.VM{Name: "intranet-1", MemGB: 6, VCPUs: 2, Workload: drowsydc.WorkloadProduction(1), InitialHost: 0})
+		s.AddVM(drowsydc.VM{Name: "intranet-2", MemGB: 6, VCPUs: 2, Workload: drowsydc.WorkloadProduction(1), InitialHost: 1})
+		s.AddVM(drowsydc.VM{Name: "reports", MemGB: 6, VCPUs: 2, Workload: drowsydc.WorkloadProduction(4), InitialHost: 2})
+		s.AddVM(drowsydc.VM{Name: "backup", MemGB: 6, VCPUs: 2, Workload: drowsydc.WorkloadDailyBackup(0.5), TimerDriven: true, InitialHost: 2})
+		return s
+	}
+
+	fmt.Println("One week, three hosts, six VMs:")
+	for _, p := range []drowsydc.Policy{drowsydc.PolicyDrowsyFull, drowsydc.PolicyNeat} {
+		s := build()
+		s.Grace = p == drowsydc.PolicyDrowsyFull // grace is a Drowsy-DC feature
+		rep, err := s.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Summary(os.Stdout)
+	}
+
+	// Vanilla baseline: no suspension at all.
+	s := build()
+	s.Suspend = false
+	s.Grace = false
+	rep, err := s.Run(drowsydc.PolicyNeat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("no-suspension baseline: ")
+	rep.Summary(os.Stdout)
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drowsydc/internal/trace"
+)
+
+func fullPair() (*Cluster, []*VM) {
+	c := New()
+	c.AddHost(NewHost(0, "a", 16, 8, 2))
+	c.AddHost(NewHost(1, "b", 16, 8, 2))
+	var vms []*VM
+	for i := 0; i < 4; i++ {
+		v := NewVM(i, "v", KindLLMI, 6, 2, trace.DailyBackup(0.5))
+		vms = append(vms, v)
+		c.AddVM(v)
+	}
+	_ = c.Place(vms[0], c.Hosts()[0])
+	_ = c.Place(vms[1], c.Hosts()[0])
+	_ = c.Place(vms[2], c.Hosts()[1])
+	_ = c.Place(vms[3], c.Hosts()[1])
+	return c, vms
+}
+
+func TestApplyAssignmentsSwap(t *testing.T) {
+	// Both hosts full: swapping VM 1 and VM 2 is only possible through
+	// the atomic plan (plain Migrate would fail on a full destination).
+	c, vms := fullPair()
+	h0, h1 := c.Hosts()[0], c.Hosts()[1]
+	if err := c.Migrate(vms[1], h1); err == nil {
+		t.Fatal("premise broken: direct migrate into a full host should fail")
+	}
+	plan := []Assignment{
+		{VM: vms[1], Host: h1},
+		{VM: vms[2], Host: h0},
+	}
+	if err := c.ApplyAssignments(plan); err != nil {
+		t.Fatal(err)
+	}
+	if vms[1].Host() != h1 || vms[2].Host() != h0 {
+		t.Fatal("swap did not happen")
+	}
+	if vms[1].Migrations() != 1 || vms[2].Migrations() != 1 || c.Migrations() != 2 {
+		t.Fatal("migration counting wrong")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyAssignmentsNoopDoesNotCount(t *testing.T) {
+	c, vms := fullPair()
+	plan := []Assignment{
+		{VM: vms[0], Host: c.Hosts()[0]},
+		{VM: vms[1], Host: c.Hosts()[0]},
+	}
+	if err := c.ApplyAssignments(plan); err != nil {
+		t.Fatal(err)
+	}
+	if c.Migrations() != 0 {
+		t.Fatalf("no-op plan counted %d migrations", c.Migrations())
+	}
+}
+
+func TestApplyAssignmentsPlacesUnplaced(t *testing.T) {
+	c := New()
+	c.AddHost(NewHost(0, "a", 16, 8, 2))
+	v := NewVM(0, "v", KindLLMI, 6, 2, trace.DailyBackup(0.5))
+	c.AddVM(v)
+	if err := c.ApplyAssignments([]Assignment{{VM: v, Host: c.Hosts()[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Host() != c.Hosts()[0] {
+		t.Fatal("not placed")
+	}
+	if c.Migrations() != 0 {
+		t.Fatal("first placement must not count as migration")
+	}
+}
+
+func TestApplyAssignmentsRejectsInfeasible(t *testing.T) {
+	c, vms := fullPair()
+	h0 := c.Hosts()[0]
+	// Three VMs onto a 2-slot host.
+	plan := []Assignment{
+		{VM: vms[2], Host: h0},
+		{VM: vms[3], Host: h0},
+	}
+	if err := c.ApplyAssignments(plan); err == nil {
+		t.Fatal("slot overflow should fail")
+	}
+	// Cluster unchanged.
+	if vms[2].Host() != c.Hosts()[1] || c.Migrations() != 0 {
+		t.Fatal("failed plan mutated the cluster")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyAssignmentsRejectsMemoryOverflow(t *testing.T) {
+	c := New()
+	c.AddHost(NewHost(0, "a", 10, 8, 0))
+	a := NewVM(0, "a", KindLLMI, 6, 2, trace.DailyBackup(0.5))
+	b := NewVM(1, "b", KindLLMI, 6, 2, trace.DailyBackup(0.5))
+	c.AddVM(a)
+	c.AddVM(b)
+	plan := []Assignment{{VM: a, Host: c.Hosts()[0]}, {VM: b, Host: c.Hosts()[0]}}
+	if err := c.ApplyAssignments(plan); err == nil {
+		t.Fatal("memory overflow should fail")
+	}
+}
+
+func TestApplyAssignmentsRejectsBadPlans(t *testing.T) {
+	c, vms := fullPair()
+	if err := c.ApplyAssignments([]Assignment{{VM: nil, Host: c.Hosts()[0]}}); err == nil {
+		t.Fatal("nil VM should fail")
+	}
+	if err := c.ApplyAssignments([]Assignment{{VM: vms[0], Host: nil}}); err == nil {
+		t.Fatal("nil host should fail")
+	}
+	dup := []Assignment{
+		{VM: vms[0], Host: c.Hosts()[0]},
+		{VM: vms[0], Host: c.Hosts()[1]},
+	}
+	if err := c.ApplyAssignments(dup); err == nil {
+		t.Fatal("duplicate VM should fail")
+	}
+}
+
+func TestApplyAssignmentsInvariantProperty(t *testing.T) {
+	// Property: whatever plan is attempted, the cluster either applies
+	// it fully or stays unchanged, and invariants always hold.
+	f := func(targets []uint8) bool {
+		c, vms := fullPair()
+		n := len(targets)
+		if n > 4 {
+			n = 4
+		}
+		plan := make([]Assignment, 0, n)
+		for i := 0; i < n; i++ {
+			plan = append(plan, Assignment{VM: vms[i], Host: c.Hosts()[int(targets[i])%2]})
+		}
+		before := c.Assignments()
+		err := c.ApplyAssignments(plan)
+		if err != nil {
+			after := c.Assignments()
+			for i := range before {
+				if before[i] != after[i] {
+					return false // failed plan must not move anything
+				}
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"drowsydc/internal/simtime"
+)
+
+// codecMagic and codecVersion guard the binary format of a serialized
+// idleness model. The format is used by the fault-tolerant waking-module
+// mirroring (§V: "each waking module monitors and mirrors another one")
+// and by experiment checkpointing.
+const (
+	codecMagic   = 0x44724459 // "DrDY"
+	codecVersion = 1
+)
+
+// totalScores is the number of SI values in a model:
+// 24 SI_d + 24×7 SI_w + 24×31 SI_m + 24×31×12 SI_y.
+const totalScores = simtime.HoursPerDay +
+	simtime.HoursPerDay*simtime.DaysPerWeek +
+	simtime.HoursPerDay*simtime.DaysPerMonth +
+	simtime.HoursPerDay*simtime.DaysPerMonth*simtime.MonthsPerYear
+
+// MarshalBinary encodes the model in a fixed-layout little-endian form.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	buf := bytes.NewBuffer(make([]byte, 0, 16+8*(totalScores+NumScales+4)))
+	var head = []uint32{codecMagic, codecVersion}
+	for _, v := range head {
+		if err := binary.Write(buf, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	writeF := func(v float64) { _ = binary.Write(buf, binary.LittleEndian, v) }
+	for _, v := range m.SId {
+		writeF(v)
+	}
+	for d := range m.SIw {
+		for _, v := range m.SIw[d] {
+			writeF(v)
+		}
+	}
+	for d := range m.SIm {
+		for _, v := range m.SIm[d] {
+			writeF(v)
+		}
+	}
+	for mo := range m.SIy {
+		for d := range m.SIy[mo] {
+			for _, v := range m.SIy[mo][d] {
+				writeF(v)
+			}
+		}
+	}
+	for _, v := range m.W {
+		writeF(v)
+	}
+	writeF(m.activeSum)
+	_ = binary.Write(buf, binary.LittleEndian, m.activeCount)
+	_ = binary.Write(buf, binary.LittleEndian, m.hoursObserved)
+	_ = binary.Write(buf, binary.LittleEndian, m.hoursIdle)
+	writeF(m.opts.NoiseFloor)
+	writeF(m.opts.DescentRate)
+	_ = binary.Write(buf, binary.LittleEndian, int64(m.opts.DescentSteps))
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a model previously encoded by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("core: truncated model header: %w", err)
+	}
+	if magic != codecMagic {
+		return fmt.Errorf("core: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("core: truncated model header: %w", err)
+	}
+	if version != codecVersion {
+		return fmt.Errorf("core: unsupported model version %d", version)
+	}
+	readF := func(dst *float64) error {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return fmt.Errorf("core: truncated model body: %w", err)
+		}
+		if math.IsNaN(*dst) {
+			return fmt.Errorf("core: NaN in serialized model")
+		}
+		return nil
+	}
+	for i := range m.SId {
+		if err := readF(&m.SId[i]); err != nil {
+			return err
+		}
+	}
+	for d := range m.SIw {
+		for i := range m.SIw[d] {
+			if err := readF(&m.SIw[d][i]); err != nil {
+				return err
+			}
+		}
+	}
+	for d := range m.SIm {
+		for i := range m.SIm[d] {
+			if err := readF(&m.SIm[d][i]); err != nil {
+				return err
+			}
+		}
+	}
+	for mo := range m.SIy {
+		for d := range m.SIy[mo] {
+			for i := range m.SIy[mo][d] {
+				if err := readF(&m.SIy[mo][d][i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := range m.W {
+		if err := readF(&m.W[i]); err != nil {
+			return err
+		}
+	}
+	if err := readF(&m.activeSum); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &m.activeCount); err != nil {
+		return fmt.Errorf("core: truncated model tail: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &m.hoursObserved); err != nil {
+		return fmt.Errorf("core: truncated model tail: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &m.hoursIdle); err != nil {
+		return fmt.Errorf("core: truncated model tail: %w", err)
+	}
+	if err := readF(&m.opts.NoiseFloor); err != nil {
+		return err
+	}
+	if err := readF(&m.opts.DescentRate); err != nil {
+		return err
+	}
+	var steps int64
+	if err := binary.Read(r, binary.LittleEndian, &steps); err != nil {
+		return fmt.Errorf("core: truncated model tail: %w", err)
+	}
+	m.opts.DescentSteps = int(steps)
+	return nil
+}

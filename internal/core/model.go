@@ -1,0 +1,324 @@
+// Package core implements the paper's primary contribution: the per-VM
+// idleness model (IM) and idleness probability (IP) of Drowsy-DC §III.
+//
+// The model maintains synthesized idleness (SI) scores at four calendar
+// scales — hour of day (SI_d), day of week (SI_w), day of month (SI_m)
+// and month of year (SI_y) — plus four learned weights. Each simulated
+// hour the scores associated with that hour are nudged toward idleness
+// (+) or activity (−) by an update value that depends on the VM's
+// activity level and on how extreme the score already is (eqs. 2–5), and
+// the weights are corrected by steepest descent on the quadratic error
+// between the IP predicted with the old state and the IP given full
+// knowledge of the hour (eqs. 6–8).
+//
+// From the model, IP(h, d_w, d_m, m) = wᵀ·SI is the likelihood that the
+// VM is idle during the given future hour. SI scores live in [−1, 1]
+// (positive = idle); with the weights kept on the probability simplex the
+// IP is also in [−1, 1], and the normalized form (IP+1)/2 is the
+// probability quoted by the paper ("predicted idle — its IP is higher
+// than 50 %" ⇔ IP > 0).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"drowsydc/internal/simtime"
+)
+
+// Constants fixed empirically by the paper (§III-C).
+const (
+	// Alpha controls how fast the update coefficient u decays once a
+	// score passes the Beta threshold.
+	Alpha = 0.7
+	// Beta is the |SI| threshold above which a score is considered to
+	// start reaching extreme values.
+	Beta = 0.5
+	// Sigma scales activity to the SI bounds: a VM must be constantly
+	// active (a_h = 1) for a full year to drive SI_d from 0 to −1
+	// (ignoring the u coefficient). Sigma = 1/(365×24).
+	Sigma = 1.0 / float64(simtime.HoursPerYear)
+	// DefaultNoiseFloor filters out very short scheduling quanta: hours
+	// with activity below this level count as idle (§III-C "noise — are
+	// filtered out").
+	DefaultNoiseFloor = 0.01
+)
+
+// Number of scale weights: day, week, month, year.
+const NumScales = 4
+
+// Scale indices into weight and score vectors.
+const (
+	ScaleDay = iota
+	ScaleWeek
+	ScaleMonth
+	ScaleYear
+)
+
+// Options tune the parts of the model the paper leaves configurable.
+type Options struct {
+	// NoiseFloor is the activity level below which an hour counts as
+	// idle. Zero selects DefaultNoiseFloor.
+	NoiseFloor float64
+	// DescentRate is the steepest-descent step size for weight learning.
+	// The descent is gradient-normalized (NLMS form) because Q's natural
+	// scale is σ² ≈ 1.3e-8 — a raw gradient step would need an absurd
+	// rate constant to learn within the VM's lifetime. Rates in (0, 1]
+	// are stable. Zero selects 0.1.
+	DescentRate float64
+	// DescentSteps is the number of descent iterations per hourly
+	// update. The paper notes the precision "can be set to not incur any
+	// overhead"; with the normalized step a single iteration converges
+	// well. Zero selects 1.
+	DescentSteps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NoiseFloor == 0 {
+		o.NoiseFloor = DefaultNoiseFloor
+	}
+	if o.DescentRate == 0 {
+		o.DescentRate = 0.1
+	}
+	if o.DescentSteps == 0 {
+		o.DescentSteps = 1
+	}
+	return o
+}
+
+// Model is a VM's idleness model. The zero value is not ready to use;
+// construct with New. Model is not safe for concurrent mutation; each VM
+// owns exactly one and the per-host model builder updates it once per
+// hour (§III-A), so no locking is needed.
+type Model struct {
+	// SI scores per calendar scale; all in [−1, 1], positive = idle.
+	SId [simtime.HoursPerDay]float64
+	SIw [simtime.DaysPerWeek][simtime.HoursPerDay]float64
+	SIm [simtime.DaysPerMonth][simtime.HoursPerDay]float64
+	SIy [simtime.MonthsPerYear][simtime.DaysPerMonth][simtime.HoursPerDay]float64
+
+	// W holds the scale weights (w_d, w_w, w_m, w_y), kept on the
+	// probability simplex.
+	W [NumScales]float64
+
+	// Running mean of activity over past active hours (ā in eq. 2).
+	activeSum   float64
+	activeCount int64
+
+	// Observation counters, exposed for diagnostics.
+	hoursObserved int64
+	hoursIdle     int64
+
+	opts Options
+}
+
+// New returns a fresh model: all SI scores zero (undetermined behaviour)
+// and uniform weights.
+func New() *Model { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a fresh model with explicit tuning options.
+func NewWithOptions(o Options) *Model {
+	m := &Model{opts: o.withDefaults()}
+	for i := range m.W {
+		m.W[i] = 1.0 / NumScales
+	}
+	return m
+}
+
+// Options returns the effective options of the model.
+func (m *Model) Options() Options { return m.opts }
+
+// scores gathers the four SI values associated with a calendar hour, in
+// scale order (day, week, month, year).
+func (m *Model) scores(st simtime.Stamp) [NumScales]float64 {
+	return [NumScales]float64{
+		m.SId[st.HourOfDay],
+		m.SIw[st.DayOfWeek][st.HourOfDay],
+		m.SIm[st.DayOfMonth][st.HourOfDay],
+		m.SIy[st.Month][st.DayOfMonth][st.HourOfDay],
+	}
+}
+
+// setScores writes back the four SI values for a calendar hour.
+func (m *Model) setScores(st simtime.Stamp, s [NumScales]float64) {
+	m.SId[st.HourOfDay] = s[ScaleDay]
+	m.SIw[st.DayOfWeek][st.HourOfDay] = s[ScaleWeek]
+	m.SIm[st.DayOfMonth][st.HourOfDay] = s[ScaleMonth]
+	m.SIy[st.Month][st.DayOfMonth][st.HourOfDay] = s[ScaleYear]
+}
+
+// IP computes the idleness probability wᵀ·SI ∈ [−1, 1] for the calendar
+// hour described by st (eq. 1). Positive values predict idleness.
+func (m *Model) IP(st simtime.Stamp) float64 {
+	s := m.scores(st)
+	return dot(m.W, s)
+}
+
+// IPAt is shorthand for IP at an absolute hour.
+func (m *Model) IPAt(h simtime.Hour) float64 { return m.IP(simtime.Decompose(h)) }
+
+// Probability maps the IP onto [0, 1]: the form the paper quotes as a
+// percentage ("its IP is higher than 50 %").
+func (m *Model) Probability(st simtime.Stamp) float64 {
+	return (m.IP(st) + 1) / 2
+}
+
+// PredictIdle reports whether the model predicts the VM idle for the
+// given hour: normalized probability above 50 %, i.e. IP > 0.
+func (m *Model) PredictIdle(st simtime.Stamp) bool { return m.IP(st) > 0 }
+
+// MeanActiveLevel returns ā, the running average activity of past active
+// hours, or 1 if the VM has never been active. A never-active VM has
+// shown no evidence about its activity magnitude, so its idleness is
+// credited at the maximum rate — consistent with eq. 2's intent that
+// idleness observed against high activity is significant.
+func (m *Model) MeanActiveLevel() float64 {
+	if m.activeCount == 0 {
+		return 1
+	}
+	return m.activeSum / float64(m.activeCount)
+}
+
+// HoursObserved returns the number of hourly observations applied.
+func (m *Model) HoursObserved() int64 { return m.hoursObserved }
+
+// IdleFractionObserved returns the observed fraction of idle hours.
+func (m *Model) IdleFractionObserved() float64 {
+	if m.hoursObserved == 0 {
+		return 0
+	}
+	return float64(m.hoursIdle) / float64(m.hoursObserved)
+}
+
+// u is the update coefficient of eq. 4: close to 1 while |SI| is small
+// (learn fast when undetermined) and decaying once |SI| passes Beta
+// (avoid extreme values so the model can react to behaviour changes).
+func u(absSI float64) float64 {
+	return 1 / (1 + math.Exp(Alpha*(absSI-Beta)))
+}
+
+// Observe applies one hourly observation: the activity level of the VM
+// during the hour described by st. It updates the SI scores (eqs. 2–5)
+// and then corrects the weights by steepest descent (eqs. 6–8).
+//
+// activity must be in [0, 1]; levels below the noise floor count as an
+// idle hour.
+func (m *Model) Observe(st simtime.Stamp, activity float64) {
+	if activity < 0 || activity > 1 || math.IsNaN(activity) {
+		panic(fmt.Sprintf("core: activity %v out of [0,1]", activity))
+	}
+	idle := activity < m.opts.NoiseFloor
+
+	// eq. 2: the magnitude driving the update is the hour's own activity
+	// when active, or the mean past active level when idle.
+	a := activity
+	if idle {
+		a = m.MeanActiveLevel()
+	}
+	aStar := Sigma * a // eq. 3
+
+	w0 := m.W
+	siOld := m.scores(st)
+
+	siNew := siOld
+	for k := range siNew {
+		v := aStar * u(math.Abs(siNew[k])) // eq. 5
+		if idle {
+			siNew[k] += v
+		} else {
+			siNew[k] -= v
+		}
+		siNew[k] = clamp(siNew[k], -1, 1)
+	}
+	m.setScores(st, siNew)
+
+	m.learnWeights(w0, siOld, siNew)
+
+	if !idle {
+		m.activeSum += activity
+		m.activeCount++
+	}
+	m.hoursObserved++
+	if idle {
+		m.hoursIdle++
+	}
+}
+
+// learnWeights minimizes Q(w) = (w₀ᵀ·SI′ − wᵀ·SI)² by steepest descent
+// (eq. 8), starting from the current weights, then projects the result
+// back onto the probability simplex so the IP remains a convex
+// combination of SI scores.
+//
+// The step is gradient-normalized (the NLMS form of steepest descent for
+// a rank-one quadratic): w ← w + rate·err·SI/(SIᵀSI + ε). This makes the
+// effective learning rate independent of the σ² scale of Q, which the
+// paper leaves as an implementation precision knob ("its precision can
+// be set to not incur any overhead"). Directionally it matches eq. 8
+// exactly: weights of scales whose scores agree with the observed
+// idleness grow, disagreeing scales shrink.
+func (m *Model) learnWeights(w0, siOld, siNew [NumScales]float64) {
+	target := dot(w0, siNew) // IP′ of eq. 7
+	denom := dot(siOld, siOld) + 1e-9
+	w := m.W
+	for step := 0; step < m.opts.DescentSteps; step++ {
+		err := target - dot(w, siOld)
+		for k := range w {
+			w[k] += m.opts.DescentRate * err * siOld[k] / denom
+		}
+	}
+	m.W = projectSimplex(w)
+}
+
+// projectSimplex clamps negative components to zero and renormalizes the
+// vector to sum to one. A zero vector resets to uniform weights.
+func projectSimplex(w [NumScales]float64) [NumScales]float64 {
+	sum := 0.0
+	for k := range w {
+		if w[k] < 0 || math.IsNaN(w[k]) {
+			w[k] = 0
+		}
+		sum += w[k]
+	}
+	if sum <= 0 {
+		for k := range w {
+			w[k] = 1.0 / NumScales
+		}
+		return w
+	}
+	for k := range w {
+		w[k] /= sum
+	}
+	return w
+}
+
+func dot(a, b [NumScales]float64) float64 {
+	s := 0.0
+	for k := range a {
+		s += a[k] * b[k]
+	}
+	return s
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clone returns a deep copy of the model, used by the fault-tolerant
+// waking-module mirroring and by experiments that branch scenarios.
+func (m *Model) Clone() *Model {
+	cp := *m
+	return &cp
+}
+
+// String summarizes the model for experiment logs.
+func (m *Model) String() string {
+	return fmt.Sprintf("IM{w_d=%.3f w_w=%.3f w_m=%.3f w_y=%.3f observed=%dh idle=%.0f%%}",
+		m.W[ScaleDay], m.W[ScaleWeek], m.W[ScaleMonth], m.W[ScaleYear],
+		m.hoursObserved, 100*m.IdleFractionObserved())
+}

@@ -1,0 +1,677 @@
+// Package dcsim is the datacenter simulation runtime: it wires the
+// placement domain (internal/cluster) to the power model, the simulated
+// host OS, the suspending module and the waking module, and plays a
+// workload hour by hour under a consolidation policy. It is the
+// equivalent of the paper's two evaluation vehicles at once — the
+// OpenStack/KVM testbed of §VI-A and the CloudSim simulation of §VI-B.
+//
+// # Time model
+//
+// VM activity is hourly (the resolution of the idleness model). The
+// activity level of an hour is the VM's CPU utilization across that
+// hour: a VM with activity above the noise floor keeps its host awake
+// for the whole hour (its processes stay runnable on and off at a
+// granularity far below what suspension could exploit), while an hour
+// below the floor is an idle hour. A host is therefore suspendable
+// exactly during its fully idle hours, subject to the suspending
+// module's checks (grace time, decision overhead, OS idleness). Waking
+// happens through the waking module: ahead of time for scheduled dates
+// (timer-driven VMs), or on the first inbound request of an active hour
+// (request-driven VMs), which then pays the resume latency.
+package dcsim
+
+import (
+	"fmt"
+	"math"
+
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/core"
+	"drowsydc/internal/metrics"
+	"drowsydc/internal/netsim"
+	"drowsydc/internal/ossim"
+	"drowsydc/internal/power"
+	"drowsydc/internal/sim"
+	"drowsydc/internal/simtime"
+	"drowsydc/internal/suspend"
+	"drowsydc/internal/waking"
+)
+
+// hourRecorder is implemented by policies that maintain utilization
+// history (Neat and Drowsy-DC).
+type hourRecorder interface {
+	RecordHour(*cluster.Cluster, simtime.Hour)
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Profile is the host power/latency profile.
+	Profile power.Profile
+	// EnableSuspend allows non-empty hosts to enter S3 when idle. The
+	// paper's vanilla-Neat baseline ("current real world case") runs
+	// with it disabled; empty hosts still power off in all modes.
+	EnableSuspend bool
+	// UseGrace enables the anti-oscillation grace time (a Drowsy-DC
+	// feature; the Neat+S3 baseline runs without it).
+	UseGrace bool
+	// NaiveResume charges the unoptimized resume latency on packet
+	// wakes (ablation of the paper's quick-resume work).
+	NaiveResume bool
+	// RebalanceEvery is the consolidation period in hours (default 1).
+	RebalanceEvery int
+	// RequestsPerHour scales request sampling for SLA accounting: an
+	// active hour of a request-driven VM carries activity×RequestsPerHour
+	// requests (minimum one). Default 200.
+	RequestsPerHour int
+	// ServiceSeconds is the base service time of one request (default
+	// 0.05 s; the CloudSuite web-search SLA is 200 ms).
+	ServiceSeconds float64
+	// SLASeconds is the SLA target (default 0.2 s).
+	SLASeconds float64
+	// TimerScanHorizonHours bounds the lookahead when converting a
+	// timer-driven VM's next active hour into an hr-timer (default one
+	// year).
+	TimerScanHorizonHours int
+	// StartHour is the calendar hour at which the run begins.
+	StartHour simtime.Hour
+	// Hours is the length of the run.
+	Hours int
+	// Arrivals are VMs created mid-run: each is registered with the
+	// cluster at its hour and placed through the policy's PlaceNew path
+	// (the Nova filter-scheduler integration, §III-D-a).
+	Arrivals []Arrival
+	// Departures are VM terminations: the VM is removed from the
+	// cluster at its hour (the SLMU lifecycle — a MapReduce task ends
+	// and its capacity returns to the pool).
+	Departures []Departure
+}
+
+// Arrival schedules the creation of a VM during the run. The VM must be
+// fully constructed but not yet added to the cluster.
+type Arrival struct {
+	At simtime.Hour
+	VM *cluster.VM
+}
+
+// Departure schedules the termination of a VM during the run. The VM
+// must be part of the cluster (initially or via an Arrival before At).
+type Departure struct {
+	At simtime.Hour
+	VM *cluster.VM
+}
+
+func (c Config) withDefaults() Config {
+	if c.Profile == (power.Profile{}) {
+		c.Profile = power.DefaultProfile()
+	}
+	if c.RebalanceEvery == 0 {
+		c.RebalanceEvery = 1
+	}
+	if c.RequestsPerHour == 0 {
+		c.RequestsPerHour = 200
+	}
+	if c.ServiceSeconds == 0 {
+		c.ServiceSeconds = 0.05
+	}
+	if c.SLASeconds == 0 {
+		c.SLASeconds = 0.2
+	}
+	if c.TimerScanHorizonHours == 0 {
+		c.TimerScanHorizonHours = simtime.HoursPerYear
+	}
+	return c
+}
+
+// hostRT is the per-host runtime state.
+type hostRT struct {
+	host    *cluster.Host
+	machine *power.Machine
+	os      *ossim.OS
+	monitor *suspend.Monitor
+	procOf  map[int]int          // VM ID → PID on this host's OS
+	timerAt map[int]simtime.Time // VM ID → registered hr-timer expiry
+	// packetWoken marks that the current hour's resume was triggered by
+	// an inbound request (so the first request pays the wake latency).
+	packetWoken bool
+	// resumedAt is when the host last became fully active.
+	resumedAt simtime.Time
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Policy string
+	Hours  int
+
+	EnergyKWh      float64
+	HostEnergyKWh  []float64
+	SuspendedFrac  []float64
+	GlobalSuspFrac float64
+	SuspendCounts  []int
+
+	Migrations      int
+	PerVMMigrations []int
+
+	Coloc       *metrics.Colocation
+	Latency     *metrics.LatencyStats
+	WakeLatency *metrics.LatencyStats
+
+	ScheduledWakes uint64
+	PacketWakes    uint64
+}
+
+// Runner executes one simulation.
+type Runner struct {
+	cfg     Config
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	policy  cluster.Policy
+	wm      *waking.Module
+	mirror  *waking.Module
+	rts     map[int]*hostRT // host ID → runtime
+	// allVMs fixes the reporting order: the cluster's initial VMs
+	// followed by the scheduled arrivals.
+	allVMs  []*cluster.VM
+	pending []Arrival
+	departs []Departure
+
+	coloc       *metrics.Colocation
+	latency     *metrics.LatencyStats
+	wakeLatency *metrics.LatencyStats
+}
+
+// NewRunner builds a runner for a cluster whose VMs are already
+// registered (placed or not — unplaced VMs are placed by the policy at
+// the first hour).
+func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
+	cfg = cfg.withDefaults()
+	if err := cfg.Profile.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Hours <= 0 {
+		panic("dcsim: non-positive run length")
+	}
+	r := &Runner{
+		cfg:         cfg,
+		engine:      sim.New(),
+		cluster:     c,
+		policy:      policy,
+		rts:         make(map[int]*hostRT),
+		coloc:       metrics.NewColocation(len(c.VMs()) + len(cfg.Arrivals)),
+		latency:     metrics.NewLatencyStats(cfg.SLASeconds),
+		wakeLatency: metrics.NewLatencyStats(cfg.SLASeconds),
+	}
+	r.allVMs = append(r.allVMs, c.VMs()...)
+	for _, a := range cfg.Arrivals {
+		if a.VM == nil {
+			panic("dcsim: nil VM in arrival")
+		}
+		if a.At < cfg.StartHour {
+			panic("dcsim: arrival before run start")
+		}
+		r.allVMs = append(r.allVMs, a.VM)
+		r.pending = append(r.pending, a)
+	}
+	for _, d := range cfg.Departures {
+		if d.VM == nil {
+			panic("dcsim: nil VM in departure")
+		}
+		r.departs = append(r.departs, d)
+	}
+	start := cfg.StartHour.Start()
+	if start > 0 {
+		r.engine.RunUntil(start)
+	}
+	lead := simtime.Duration(math.Ceil(cfg.Profile.ResumeLatency))
+	if lead < 1 {
+		lead = 1
+	}
+	r.wm = waking.New("rack0", r.engine, lead, r.onWoL)
+	r.mirror = waking.New("rack0-mirror", r.engine, lead, r.onWoL)
+	waking.Pair(r.wm, r.mirror)
+	for _, h := range c.Hosts() {
+		os := ossim.New(0)
+		os.Blacklist("monitord", "watchdog")
+		os.Spawn("monitord", ossim.StateRunning)
+		rt := &hostRT{
+			host:    h,
+			machine: power.NewMachine(cfg.Profile, float64(start)),
+			os:      os,
+			monitor: suspend.NewMonitor(suspend.Config{UseGrace: cfg.UseGrace, DecisionOverhead: 1 * simtime.Second}, os),
+			procOf:  make(map[int]int),
+			timerAt: make(map[int]simtime.Time),
+		}
+		rt.monitor.OnResume(start, 0.5)
+		rt.resumedAt = start
+		r.rts[h.ID] = rt
+	}
+	return r
+}
+
+// WakingModule exposes the primary waking module (for fault-injection
+// experiments).
+func (r *Runner) WakingModule() *waking.Module { return r.wm }
+
+// onWoL handles a Wake-on-LAN delivery: the suspended host resumes.
+func (r *Runner) onWoL(mac netsim.MAC) {
+	rt, ok := r.rts[int(mac)]
+	if !ok {
+		return
+	}
+	if rt.machine.State() != power.StateSuspended && rt.machine.State() != power.StateOff {
+		return // already awake or mid-transition; duplicate WoL
+	}
+	now := float64(r.engine.Now())
+	rt.machine.Transition(now, power.StateResuming)
+	rt.machine.Transition(now+r.cfg.Profile.ResumeLatency, power.StateActive)
+	rt.resumedAt = r.engine.Now().Add(simtime.Duration(math.Ceil(r.cfg.Profile.ResumeLatency)))
+	hr := r.engine.NowHour()
+	rt.monitor.OnResume(rt.resumedAt, rt.host.Probability(hr))
+	r.wm.HostResumed(mac)
+}
+
+// Run executes the configured number of hours and returns the results.
+func (r *Runner) Run() *Result {
+	c := r.cluster
+	// Initial placement of unplaced VMs through the policy.
+	for _, v := range c.VMs() {
+		if v.Host() != nil {
+			r.attach(v, r.rts[v.Host().ID])
+		}
+	}
+	for _, v := range c.VMs() {
+		if v.Host() == nil {
+			h, err := r.policy.PlaceNew(c, v, r.cfg.StartHour)
+			if err != nil {
+				panic(fmt.Sprintf("dcsim: initial placement failed: %v", err))
+			}
+			if err := c.Place(v, h); err != nil {
+				panic(err)
+			}
+			r.attach(v, r.rts[h.ID])
+		}
+	}
+
+	for i := 0; i < r.cfg.Hours; i++ {
+		hr := r.cfg.StartHour + simtime.Hour(i)
+		t0 := hr.Start()
+		// Fire scheduled wakes due before this hour (the waking module's
+		// ahead-of-time WoLs).
+		r.engine.RunUntil(t0)
+
+		// VM creations scheduled for this hour (Nova path).
+		rest := r.pending[:0]
+		for _, a := range r.pending {
+			if a.At != hr {
+				rest = append(rest, a)
+				continue
+			}
+			c.AddVM(a.VM)
+			h, err := r.policy.PlaceNew(c, a.VM, hr)
+			if err != nil {
+				panic(fmt.Sprintf("dcsim: arrival placement failed: %v", err))
+			}
+			if err := c.Place(a.VM, h); err != nil {
+				panic(err)
+			}
+			r.wakeForManagement(r.rts[h.ID])
+			r.attach(a.VM, r.rts[h.ID])
+		}
+		r.pending = rest
+
+		// VM terminations scheduled for this hour.
+		remaining := r.departs[:0]
+		for _, d := range r.departs {
+			if d.At != hr {
+				remaining = append(remaining, d)
+				continue
+			}
+			if h := d.VM.Host(); h != nil {
+				r.detach(d.VM, r.rts[h.ID])
+			}
+			c.Remove(d.VM)
+		}
+		r.departs = remaining
+
+		// Consolidation round.
+		if i%r.cfg.RebalanceEvery == 0 {
+			before := r.snapshotPlacement()
+			r.policy.Rebalance(c, hr)
+			r.applyPlacementChanges(before)
+		}
+		r.coloc.RecordHour(r.assignmentsAll())
+
+		// Play the hour on every host.
+		for _, h := range c.Hosts() {
+			r.playHour(r.rts[h.ID], hr, t0)
+		}
+
+		// Hour is over: feed the idleness models and the detectors.
+		for _, v := range c.VMs() {
+			v.Observe(hr, v.Activity(hr))
+		}
+		if rec, ok := r.policy.(hourRecorder); ok {
+			rec.RecordHour(c, hr)
+		}
+		r.wm.Heartbeat()
+		r.mirror.Heartbeat()
+	}
+
+	end := (r.cfg.StartHour + simtime.Hour(r.cfg.Hours)).Start()
+	r.engine.RunUntil(end)
+	for _, rt := range r.rts {
+		rt.machine.Finish(float64(end))
+	}
+	return r.collect()
+}
+
+// assignmentsAll maps every expected VM (initial + arrivals) to its
+// host ID, with -1 for unplaced or not-yet-created VMs.
+func (r *Runner) assignmentsAll() []int {
+	out := make([]int, len(r.allVMs))
+	for i, v := range r.allVMs {
+		if h := v.Host(); h != nil {
+			out[i] = h.ID
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// attach creates the VM's process on a host OS.
+func (r *Runner) attach(v *cluster.VM, rt *hostRT) {
+	pid := rt.os.Spawn("qemu-"+v.Name, ossim.StateSleeping)
+	rt.procOf[v.ID] = pid
+}
+
+// detach kills the VM's process on its old host OS.
+func (r *Runner) detach(v *cluster.VM, rt *hostRT) {
+	if pid, ok := rt.procOf[v.ID]; ok {
+		rt.os.Kill(pid)
+		delete(rt.procOf, v.ID)
+		delete(rt.timerAt, v.ID)
+	}
+}
+
+// snapshotPlacement records VM→host before a rebalance.
+func (r *Runner) snapshotPlacement() map[int]int {
+	m := make(map[int]int, len(r.cluster.VMs()))
+	for _, v := range r.cluster.VMs() {
+		if v.Host() != nil {
+			m[v.ID] = v.Host().ID
+		} else {
+			m[v.ID] = -1
+		}
+	}
+	return m
+}
+
+// applyPlacementChanges moves VM processes between host OSes after a
+// rebalance changed placements. Hosts participating in a migration are
+// resumed first: live migration needs both endpoints powered (the
+// paper's manager wakes a drowsy server before migrating), and this also
+// retires the switch's stale VM→MAC mappings for those hosts.
+func (r *Runner) applyPlacementChanges(before map[int]int) {
+	for _, v := range r.cluster.VMs() {
+		cur := -1
+		if v.Host() != nil {
+			cur = v.Host().ID
+		}
+		if prev := before[v.ID]; prev != cur {
+			if prev >= 0 {
+				r.wakeForManagement(r.rts[prev])
+				r.detach(v, r.rts[prev])
+			}
+			if cur >= 0 {
+				r.wakeForManagement(r.rts[cur])
+				r.attach(v, r.rts[cur])
+			}
+		}
+	}
+}
+
+// wakeForManagement resumes a suspended/off host for a management
+// operation (migration endpoint), without request-latency accounting.
+func (r *Runner) wakeForManagement(rt *hostRT) {
+	if s := rt.machine.State(); s == power.StateSuspended || s == power.StateOff {
+		r.onWoL(netsim.MAC(rt.host.ID))
+	}
+}
+
+// playHour simulates one host for one hour starting at t0.
+func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
+	h := rt.host
+	rt.packetWoken = false
+
+	// Empty host: power it off (plain consolidation behaviour, enabled
+	// in every mode). The instant is clamped past any same-hour resume
+	// (a management wake for an outgoing migration ends at t0+resume
+	// latency).
+	if h.NumVMs() == 0 {
+		from := float64(t0)
+		if ra := float64(rt.resumedAt); ra > from {
+			from = ra
+		}
+		switch rt.machine.State() {
+		case power.StateActive:
+			rt.machine.Transition(from, power.StateOff)
+		case power.StateSuspended:
+			rt.machine.Transition(from, power.StateOff)
+			r.wm.HostResumed(netsim.MAC(h.ID)) // clear stale mappings
+		}
+		return
+	}
+
+	// Activity profile of the hour: any VM above the noise floor pins
+	// the host awake for the whole hour.
+	busyHour := false
+	for _, v := range h.VMs() {
+		if v.Activity(hr) >= core.DefaultNoiseFloor {
+			busyHour = true
+			break
+		}
+	}
+	util := h.Utilization(hr)
+	if util > 1 {
+		util = 1
+	}
+
+	// Refresh hr-timers of timer-driven VMs.
+	rt.os.PopExpired(t0)
+	for _, v := range h.VMs() {
+		if !v.TimerDriven {
+			continue
+		}
+		if at, ok := rt.timerAt[v.ID]; ok && at > t0 {
+			continue
+		}
+		if next, ok := r.nextActiveHour(v, hr); ok {
+			at := next.Start()
+			rt.os.RegisterTimer(rt.procOf[v.ID], at)
+			rt.timerAt[v.ID] = at
+		}
+	}
+
+	state := rt.machine.State()
+	if busyHour {
+		// The host must be awake. A powered-off (empty → refilled) or
+		// suspended host that was not already resumed by a scheduled
+		// wake is woken by the first inbound request.
+		if state == power.StateSuspended || state == power.StateOff {
+			firstVM := r.firstActiveVM(h, hr)
+			if firstVM != nil && !firstVM.TimerDriven {
+				r.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(firstVM.ID)})
+			}
+			// The packet may have hit a stale mapping (the switch only
+			// updates VM→MAC on suspension) or the VM is timer-driven
+			// with a missed date: if this host is still asleep, the
+			// manager delivers a direct WoL.
+			if s := rt.machine.State(); s == power.StateSuspended || s == power.StateOff {
+				r.onWoL(netsim.MAC(h.ID))
+			}
+			rt.packetWoken = firstVM != nil && !firstVM.TimerDriven
+		}
+		// Active hour: utilization applies from the (possibly delayed)
+		// resume instant to the end of the hour.
+		wakeEnd := rt.resumedAt
+		if wakeEnd < t0 {
+			wakeEnd = t0
+		}
+		rt.machine.SetUtilization(float64(wakeEnd), util)
+		for _, v := range h.VMs() {
+			a := v.Activity(hr)
+			pid := rt.procOf[v.ID]
+			if a > 0 {
+				rt.os.SetState(pid, ossim.StateRunning)
+				rt.os.AddQuanta(pid, int64(a*float64(rt.os.QuantaPerHour())))
+			}
+		}
+		r.recordRequests(rt, hr, t0)
+		hourEnd := hr.End()
+		rt.machine.SetUtilization(float64(hourEnd), 0)
+		for _, v := range h.VMs() {
+			rt.os.SetState(rt.procOf[v.ID], ossim.StateSleeping)
+		}
+		return
+	}
+
+	// Fully idle hour. The state may have changed since the snapshot
+	// (e.g. a stale-mapping wake from another host's packet this hour),
+	// so re-read it and clamp accounting to the resume instant.
+	switch rt.machine.State() {
+	case power.StateSuspended, power.StateOff:
+		return // stays asleep
+	default:
+		from := t0
+		if rt.resumedAt > from {
+			from = rt.resumedAt
+		}
+		rt.machine.SetUtilization(float64(from), 0)
+		r.maybeSuspend(rt, hr, from)
+	}
+}
+
+// maybeSuspend runs the suspending module at time from and executes the
+// transition when allowed.
+func (r *Runner) maybeSuspend(rt *hostRT, hr simtime.Hour, from simtime.Time) {
+	if !r.cfg.EnableSuspend {
+		return
+	}
+	if rt.machine.State() != power.StateActive {
+		return
+	}
+	checkAt := from
+	if g := rt.monitor.GraceUntil(); g > checkAt {
+		checkAt = g
+	}
+	hourEnd := hr.End()
+	if checkAt >= hourEnd {
+		return // grace spills into the next hour; re-evaluated then
+	}
+	d := rt.monitor.Check(checkAt)
+	if !d.Suspend {
+		return
+	}
+	suspendAt := checkAt.Add(rt.monitor.DecisionOverhead())
+	done := float64(suspendAt) + r.cfg.Profile.SuspendLatency
+	if done >= float64(hourEnd) {
+		return // transition would spill past the hour boundary
+	}
+	rt.machine.Transition(float64(suspendAt), power.StateSuspending)
+	rt.machine.Transition(done, power.StateSuspended)
+	rt.monitor.OnSuspend()
+	vms := make([]netsim.VMID, 0, rt.host.NumVMs())
+	for _, v := range rt.host.VMs() {
+		vms = append(vms, netsim.VMID(v.ID))
+	}
+	r.wm.HostSuspended(netsim.MAC(rt.host.ID), vms, d.WakeAt, d.HasWake)
+}
+
+// firstActiveVM picks the active VM whose request arrives first this
+// hour (deterministically the lowest ID among the active ones).
+func (r *Runner) firstActiveVM(h *cluster.Host, hr simtime.Hour) *cluster.VM {
+	var first *cluster.VM
+	for _, v := range h.VMs() {
+		if v.Activity(hr) <= 0 {
+			continue
+		}
+		if first == nil || v.ID < first.ID {
+			first = v
+		}
+	}
+	return first
+}
+
+// recordRequests samples request latencies for the hour's active,
+// request-driven VMs. The first request of a packet-woken host pays the
+// resume latency.
+func (r *Runner) recordRequests(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
+	wakePenalty := 0.0
+	if rt.packetWoken {
+		if r.cfg.NaiveResume {
+			wakePenalty = r.cfg.Profile.NaiveResumeLatency
+		} else {
+			wakePenalty = r.cfg.Profile.ResumeLatency
+		}
+	}
+	first := r.firstActiveVM(rt.host, hr)
+	for _, v := range rt.host.VMs() {
+		a := v.Activity(hr)
+		if a <= 0 || v.TimerDriven {
+			continue
+		}
+		n := int(a * float64(r.cfg.RequestsPerHour))
+		if n < 1 {
+			n = 1
+		}
+		for q := 0; q < n; q++ {
+			lat := r.cfg.ServiceSeconds
+			if q == 0 && v == first && wakePenalty > 0 {
+				lat += wakePenalty
+				r.wakeLatency.Record(lat)
+			}
+			r.latency.Record(lat)
+		}
+	}
+}
+
+// nextActiveHour scans forward for the VM's next hour with activity.
+func (r *Runner) nextActiveHour(v *cluster.VM, from simtime.Hour) (simtime.Hour, bool) {
+	for d := 1; d <= r.cfg.TimerScanHorizonHours; d++ {
+		h := from + simtime.Hour(d)
+		if v.Activity(h) > 0 {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// collect assembles the result.
+func (r *Runner) collect() *Result {
+	c := r.cluster
+	res := &Result{
+		Policy:      r.policy.Name(),
+		Hours:       r.cfg.Hours,
+		Coloc:       r.coloc,
+		Latency:     r.latency,
+		WakeLatency: r.wakeLatency,
+		Migrations:  c.Migrations(),
+	}
+	for _, v := range r.allVMs {
+		res.PerVMMigrations = append(res.PerVMMigrations, v.Migrations())
+	}
+	var suspSum float64
+	for _, h := range c.Hosts() {
+		rt := r.rts[h.ID]
+		res.HostEnergyKWh = append(res.HostEnergyKWh, rt.machine.KWh())
+		res.EnergyKWh += rt.machine.KWh()
+		f := rt.machine.SuspendedFraction()
+		res.SuspendedFrac = append(res.SuspendedFrac, f)
+		suspSum += f
+		res.SuspendCounts = append(res.SuspendCounts, rt.machine.SuspendCount())
+	}
+	if n := len(c.Hosts()); n > 0 {
+		res.GlobalSuspFrac = suspSum / float64(n)
+	}
+	res.ScheduledWakes, res.PacketWakes, _ = r.wm.Stats()
+	return res
+}

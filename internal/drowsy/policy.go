@@ -1,0 +1,546 @@
+// Package drowsy implements Drowsy-DC's idleness-aware VM placement
+// (§III of the paper): the consolidation-support module that augments a
+// classic consolidator (Neat) with the idleness probability (IP) derived
+// from each VM's idleness model.
+//
+// The policy keeps Neat's detection stages (overloaded / underloaded
+// hosts) and changes what Neat calls steps (3) and (4):
+//
+//   - VM selection: off an overloaded host, prefer the VMs whose IP is
+//     furthest from the host's IP (most misplaced idleness-wise); for
+//     similar distances (within a tolerance) the classic criterion —
+//     minimum migration time — breaks the tie.
+//
+//   - VM placement: treat the biggest VMs first and send each to the
+//     suitable host with the IP closest to the VM's IP.
+//
+// After the classic passes, an opportunistic, purely IP-based step
+// narrows each host's IP range: when the most idle and the most active
+// VM of a host differ by more than 7σ (about one week of constant
+// maximum activity in an SI_d score), the extreme VMs are migrated to
+// closer-IP hosts. The goal is servers whose VMs agree on when to be
+// idle — those are the ones the suspending module can actually put to
+// sleep.
+package drowsy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/core"
+	"drowsydc/internal/neat"
+	"drowsydc/internal/simtime"
+)
+
+// IPRangeThreshold is the 7σ bound on a host's IP spread (§III-D): σ is
+// the activity scaling factor of the idleness model, so 7σ "roughly
+// represents a difference of a week of constant maximum activity".
+const IPRangeThreshold = 7 * core.Sigma
+
+// DistanceTolerance groups IP distances considered equal when sorting
+// (§III-D footnote: "there is a tolerance when sorting by distance so
+// close distances are considered equal"). One σ — an hour of constant
+// activity — is below any meaningful behavioural difference.
+const DistanceTolerance = core.Sigma
+
+// tieEpsilon breaks exact score ties toward a VM's current host; far
+// below σ, it can never override a behavioural difference.
+const tieEpsilon = 1e-12
+
+// Options configures the policy.
+type Options struct {
+	// Neat supplies the detection stages and classic thresholds. Nil
+	// selects neat.New(neat.Options{}).
+	Neat *neat.Policy
+	// FullRelocation enables the evaluation mode of §VI-A-1: every
+	// rebalance reconsiders the placement of all VMs instead of waiting
+	// for an overload/underload trigger. The paper uses it to expose the
+	// consolidation quality; it performs more migrations than production
+	// settings would.
+	FullRelocation bool
+	// StickyTolerance is the IP-distance bonus a VM's current host gets
+	// in full-relocation mode; it keeps placements stable once matching
+	// VMs have converged without blocking early re-pairing (it only
+	// applies when the current host keeps other VMs — staying on an
+	// otherwise-empty host preserves no colocation relationship). Zero
+	// selects DistanceTolerance (σ).
+	StickyTolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Neat == nil {
+		o.Neat = neat.New(neat.Options{})
+	}
+	if o.StickyTolerance == 0 {
+		// σ/10 of required gain per migration: profile distances
+		// between genuinely different behaviours grow by a few σ/10 per
+		// week of observations, while jitter-driven profile noise stays
+		// an order of magnitude below. Measured on the testbed and the
+		// DC-scale sweep, this converges within days with under one
+		// migration per VM per week and no flapping.
+		o.StickyTolerance = DistanceTolerance / 10
+	}
+	return o
+}
+
+// Policy is the Drowsy-DC consolidation policy.
+type Policy struct {
+	opts Options
+	// ipEvaluations counts IP lookups during rebalancing; together with
+	// oasis.PairEvaluations it supports the O(n) vs O(n²) comparison of
+	// §VII.
+	ipEvaluations uint64
+}
+
+// New creates a Drowsy-DC policy.
+func New(opts Options) *Policy { return &Policy{opts: opts.withDefaults()} }
+
+// Name implements cluster.Policy.
+func (p *Policy) Name() string {
+	if p.opts.FullRelocation {
+		return "drowsy-full"
+	}
+	return "drowsy"
+}
+
+// Neat exposes the wrapped Neat policy (the simulation runtime feeds its
+// utilization history).
+func (p *Policy) Neat() *neat.Policy { return p.opts.Neat }
+
+// RecordHour forwards the hourly utilization observation to the wrapped
+// Neat policy, whose detectors Drowsy-DC reuses.
+func (p *Policy) RecordHour(c *cluster.Cluster, hr simtime.Hour) {
+	p.opts.Neat.RecordHour(c, hr)
+}
+
+// IPEvaluations returns the cumulative number of per-VM IP evaluations.
+func (p *Policy) IPEvaluations() uint64 { return p.ipEvaluations }
+
+// vmIP reads a VM's IP for the next interval and counts the evaluation.
+func (p *Policy) vmIP(v *cluster.VM, hr simtime.Hour) float64 {
+	p.ipEvaluations++
+	return v.IP(hr)
+}
+
+// PlaceNew implements cluster.Policy: the Nova-weigher integration
+// (§III-D-a). Hosts unable to take the VM are filtered; the remaining
+// hosts are weighted by IP proximity, preferring — within the distance
+// tolerance — hosts whose IP the VM would increase (idle VMs gravitate
+// toward idle servers, and a server's IP should rise so it eventually
+// sleeps).
+func (p *Policy) PlaceNew(c *cluster.Cluster, v *cluster.VM, hr simtime.Hour) (*cluster.Host, error) {
+	vip := p.vmIP(v, hr)
+	var best *cluster.Host
+	bestDist := math.Inf(1)
+	bestIP := math.Inf(-1)
+	for _, h := range c.Hosts() {
+		if !h.CanHost(v) {
+			continue
+		}
+		hip := h.IP(hr)
+		dist := math.Abs(hip - vip)
+		switch {
+		case dist < bestDist-DistanceTolerance:
+			best, bestDist, bestIP = h, dist, hip
+		case dist < bestDist+DistanceTolerance && hip > bestIP:
+			// Similar proximity: prefer the host with the higher IP so
+			// adding the VM raises the sleepier server further.
+			best, bestDist, bestIP = h, dist, hip
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("drowsy: no host can fit VM %s", v.Name)
+	}
+	return best, nil
+}
+
+// Rebalance implements cluster.Policy.
+func (p *Policy) Rebalance(c *cluster.Cluster, hr simtime.Hour) {
+	if p.opts.FullRelocation {
+		p.fullRelocate(c, hr)
+		return
+	}
+	p.relieveOverloaded(c, hr)
+	p.evacuateUnderloaded(c, hr)
+	p.opportunistic(c, hr)
+}
+
+// relieveOverloaded is Neat step 2+3+4 with IP-aware selection and
+// placement.
+func (p *Policy) relieveOverloaded(c *cluster.Cluster, hr simtime.Hour) {
+	nopts := p.opts.Neat.Options()
+	for _, h := range c.Hosts() {
+		if !nopts.Overload.Overloaded(p.opts.Neat.History(h.ID)) {
+			continue
+		}
+		for _, v := range p.selectionOrder(h, hr) {
+			if h.Utilization(hr) <= nopts.OverloadThr {
+				break
+			}
+			dst, err := p.placeClosestIP(c, v, hr, h)
+			if err != nil {
+				break
+			}
+			_ = c.Migrate(v, dst)
+		}
+	}
+}
+
+// selectionOrder sorts a host's VMs for eviction: primary key is the IP
+// distance to the host's IP, descending (most misplaced first); within
+// the distance tolerance the classic MMT criterion (smallest memory)
+// applies.
+func (p *Policy) selectionOrder(h *cluster.Host, hr simtime.Hour) []*cluster.VM {
+	hip := h.IP(hr)
+	vms := append([]*cluster.VM(nil), h.VMs()...)
+	dist := make(map[int]float64, len(vms))
+	for _, v := range vms {
+		dist[v.ID] = math.Abs(p.vmIP(v, hr) - hip)
+	}
+	sort.SliceStable(vms, func(i, j int) bool {
+		di, dj := dist[vms[i].ID], dist[vms[j].ID]
+		if math.Abs(di-dj) > DistanceTolerance {
+			return di > dj
+		}
+		if vms[i].MemGB != vms[j].MemGB {
+			return vms[i].MemGB < vms[j].MemGB
+		}
+		return vms[i].ID < vms[j].ID
+	})
+	return vms
+}
+
+// placeClosestIP finds the suitable destination with the IP closest to
+// the VM's (§III-D step 4), excluding the avoid host. Suitability uses
+// Neat's overload budget; when nothing fits under it, the budget is
+// relaxed (a stranded VM is worse than a temporary hot spot).
+func (p *Policy) placeClosestIP(c *cluster.Cluster, v *cluster.VM, hr simtime.Hour, avoid *cluster.Host) (*cluster.Host, error) {
+	nopts := p.opts.Neat.Options()
+	vip := p.vmIP(v, hr)
+	demand := v.Activity(hr) * float64(v.VCPUs)
+	pick := func(relaxed bool) *cluster.Host {
+		var best *cluster.Host
+		bestDist := math.Inf(1)
+		for _, h := range c.Hosts() {
+			if h == avoid || h == v.Host() || !h.CanHost(v) {
+				continue
+			}
+			if !relaxed && h.Utilization(hr)+demand/float64(h.VCPUs) > nopts.OverloadThr {
+				continue
+			}
+			if d := math.Abs(h.IP(hr) - vip); d < bestDist {
+				bestDist = d
+				best = h
+			}
+		}
+		return best
+	}
+	best := pick(false)
+	if best == nil {
+		best = pick(true)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("drowsy: no destination for VM %s", v.Name)
+	}
+	return best, nil
+}
+
+// evacuateUnderloaded is Neat step 1 with IP-aware placement of the
+// displaced VMs.
+func (p *Policy) evacuateUnderloaded(c *cluster.Cluster, hr simtime.Hour) {
+	nopts := p.opts.Neat.Options()
+	hosts := append([]*cluster.Host(nil), c.Hosts()...)
+	sort.SliceStable(hosts, func(i, j int) bool {
+		return hosts[i].Utilization(hr) < hosts[j].Utilization(hr)
+	})
+	for _, h := range hosts {
+		if h.NumVMs() == 0 || h.Utilization(hr) >= nopts.Underload {
+			continue
+		}
+		for _, v := range cluster.SortVMsByMemDesc(h.VMs()) {
+			dst, err := p.placeClosestIP(c, v, hr, h)
+			if err != nil {
+				break
+			}
+			if err := c.Migrate(v, dst); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// opportunistic is the purely IP-based pass of §III-D: hosts whose VM IP
+// range exceeds 7σ shed their most extreme VMs until the range is under
+// the threshold. Both ends of the range (the most idle and the most
+// active VM) are candidates; whichever has a strictly closer destination
+// moves, preferring the larger improvement.
+func (p *Policy) opportunistic(c *cluster.Cluster, hr simtime.Hour) {
+	for _, h := range c.Hosts() {
+		// Bounded by the VM count: each iteration removes one VM.
+		for iter := 0; iter < len(h.VMs()); iter++ {
+			if h.IPRange(hr) <= IPRangeThreshold {
+				break
+			}
+			var bestVM *cluster.VM
+			var bestDst *cluster.Host
+			bestGain := 0.0
+			for _, v := range p.boundaryVMs(h, hr) {
+				dst, err := p.placeClosestIP(c, v, hr, h)
+				if err != nil {
+					continue
+				}
+				vip := p.vmIP(v, hr)
+				gain := math.Abs(h.IP(hr)-vip) - math.Abs(dst.IP(hr)-vip)
+				if gain > bestGain {
+					bestGain = gain
+					bestVM, bestDst = v, dst
+				}
+			}
+			if bestVM == nil {
+				break // no move actually brings a VM closer to its peers
+			}
+			if err := c.Migrate(bestVM, bestDst); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// boundaryVMs returns the VMs holding the extreme IPs of a host: the
+// most active (lowest IP) and the most idle (highest IP).
+func (p *Policy) boundaryVMs(h *cluster.Host, hr simtime.Hour) []*cluster.VM {
+	vms := h.VMs()
+	if len(vms) == 0 {
+		return nil
+	}
+	lo, hi := vms[0], vms[0]
+	first := p.vmIP(vms[0], hr)
+	loIP, hiIP := first, first
+	for _, v := range vms[1:] {
+		ip := p.vmIP(v, hr)
+		if ip < loIP {
+			lo, loIP = v, ip
+		}
+		if ip > hiIP {
+			hi, hiIP = v, ip
+		}
+	}
+	if lo == hi {
+		return []*cluster.VM{lo}
+	}
+	return []*cluster.VM{lo, hi}
+}
+
+// ProfileHours is the matching horizon of the full-relocation mode: a
+// VM is matched on its IP profile over the next day rather than the
+// single next hour. The paper relocates every hour with the scalar
+// next-interval IP, which sweeps the daily pattern implicitly; with a
+// coarser relocation cadence (and hysteresis against migration churn)
+// the day-profile distance is the faithful-in-effect equivalent — it
+// distinguishes a business-hours VM from an evening VM with the same
+// total idleness, exactly what hourly scalar relocation would achieve
+// over a day. Matching stays O(n) in the number of VMs (a 24× constant
+// factor).
+const ProfileHours = 24
+
+// vmProfile reads a VM's IP for each hour of the matching horizon.
+func (p *Policy) vmProfile(v *cluster.VM, hr simtime.Hour) [ProfileHours]float64 {
+	var out [ProfileHours]float64
+	for k := range out {
+		out[k] = p.vmIP(v, hr+simtime.Hour(k))
+	}
+	return out
+}
+
+// profileDist is the mean absolute difference of two IP profiles.
+func profileDist(a, b [ProfileHours]float64) float64 {
+	s := 0.0
+	for k := range a {
+		s += math.Abs(a[k] - b[k])
+	}
+	return s / ProfileHours
+}
+
+// fullRelocate is the evaluation mode of §VI-A-1: every rebalance
+// reconsiders the placement of all VMs, computing a fresh assignment
+// greedily and applying it atomically (so cyclic exchanges are possible
+// on a fully packed cluster, as on the paper's 4×2-slot testbed).
+//
+// VMs are treated biggest-first; equal-size VMs by ascending mean IP so
+// the most active cluster together first and idle VMs then pair up by
+// IP-profile proximity. Each VM prefers the partially-built host whose
+// running profile is closest to its own. The fresh plan is then
+// compared with the current placement: it is applied only when its
+// alignment gain exceeds the sticky tolerance per migration — the
+// hysteresis that keeps converged placements put (the paper's Figure 2
+// reports at most 3 migrations per VM over a week) while still allowing
+// early re-pairing of matching VMs.
+func (p *Policy) fullRelocate(c *cluster.Cluster, hr simtime.Hour) {
+	vms := append([]*cluster.VM(nil), c.VMs()...)
+	profiles := make(map[int][ProfileHours]float64, len(vms))
+	ips := make(map[int]float64, len(vms))
+	for _, v := range vms {
+		prof := p.vmProfile(v, hr)
+		profiles[v.ID] = prof
+		mean := 0.0
+		for _, x := range prof {
+			mean += x
+		}
+		ips[v.ID] = mean / ProfileHours
+	}
+	sort.SliceStable(vms, func(i, j int) bool {
+		if vms[i].MemGB != vms[j].MemGB {
+			return vms[i].MemGB > vms[j].MemGB
+		}
+		if ips[vms[i].ID] != ips[vms[j].ID] {
+			return ips[vms[i].ID] < ips[vms[j].ID]
+		}
+		return vms[i].ID < vms[j].ID
+	})
+
+	// Build the assignment against virtual host loads. CPU demand is
+	// budgeted by Neat's overload threshold so the IP-driven packing
+	// never creates hot spots the classic criteria would veto; when the
+	// budget leaves a VM stranded, a relaxed pass ignores it.
+	type build struct {
+		mem, num int
+		cpu      float64 // vCPU-weighted demand at hr
+		profSum  [ProfileHours]float64
+		placed   int
+	}
+	cpuBudget := p.opts.Neat.Options().OverloadThr
+	state := make(map[*cluster.Host]*build, len(c.Hosts()))
+	for _, h := range c.Hosts() {
+		state[h] = &build{}
+	}
+	plan := make([]cluster.Assignment, 0, len(vms))
+	for _, v := range vms {
+		vprof := profiles[v.ID]
+		demand := v.Activity(hr) * float64(v.VCPUs)
+		pick := func(relaxed bool) *cluster.Host {
+			var best *cluster.Host
+			bestScore := math.Inf(1)
+			for _, h := range c.Hosts() {
+				b := state[h]
+				if h.MaxVMs > 0 && b.num+1 > h.MaxVMs {
+					continue
+				}
+				if b.mem+v.MemGB > h.MemGB {
+					continue
+				}
+				if !relaxed && (b.cpu+demand)/float64(h.VCPUs) > cpuBudget {
+					continue
+				}
+				var hprof [ProfileHours]float64 // empty: undetermined
+				if b.placed > 0 {
+					for k := range hprof {
+						hprof[k] = b.profSum[k] / float64(b.placed)
+					}
+				}
+				score := profileDist(hprof, vprof)
+				// Resolve near-ties toward the current host so a
+				// converged pair does not ping-pong between identical
+				// empty servers.
+				if h == v.Host() {
+					score -= tieEpsilon
+				}
+				if score < bestScore {
+					bestScore = score
+					best = h
+				}
+			}
+			return best
+		}
+		best := pick(false)
+		if best == nil {
+			best = pick(true)
+		}
+		if best == nil {
+			continue // nowhere to put this VM; leave it where it is
+		}
+		b := state[best]
+		b.mem += v.MemGB
+		b.num++
+		b.cpu += demand
+		for k := range vprof {
+			b.profSum[k] += vprof[k]
+		}
+		b.placed++
+		plan = append(plan, cluster.Assignment{VM: v, Host: best})
+	}
+
+	// Plan-level hysteresis: apply only when the alignment gain pays
+	// for the migrations. Unplaced VMs force application.
+	moves := 0
+	forced := false
+	planHost := make(map[int]*cluster.Host, len(plan))
+	for _, a := range plan {
+		planHost[a.VM.ID] = a.Host
+		if a.VM.Host() == nil {
+			forced = true
+		} else if a.VM.Host() != a.Host {
+			moves++
+		}
+	}
+	if moves == 0 && !forced {
+		return
+	}
+	if !forced {
+		curCost := alignmentCost(c, profiles, nil)
+		planCost := alignmentCost(c, profiles, planHost)
+		if curCost-planCost <= float64(moves)*p.opts.StickyTolerance {
+			return // not enough improvement to justify the churn
+		}
+	}
+	_ = c.ApplyAssignments(plan)
+}
+
+// alignmentCost measures how misaligned VM idleness is with host
+// companions: Σ_v profileDist(profile(v), mean profile of v's host's
+// VMs). assign overrides hosts when non-nil (the hypothetical plan);
+// otherwise current hosts are used.
+func alignmentCost(c *cluster.Cluster, profiles map[int][ProfileHours]float64, assign map[int]*cluster.Host) float64 {
+	groupSum := make(map[*cluster.Host]*[ProfileHours]float64)
+	groupN := make(map[*cluster.Host]int)
+	hostOf := func(v *cluster.VM) *cluster.Host {
+		if assign != nil {
+			if h, ok := assign[v.ID]; ok {
+				return h
+			}
+		}
+		return v.Host()
+	}
+	for _, v := range c.VMs() {
+		h := hostOf(v)
+		if h == nil {
+			continue
+		}
+		sum := groupSum[h]
+		if sum == nil {
+			sum = &[ProfileHours]float64{}
+			groupSum[h] = sum
+		}
+		prof := profiles[v.ID]
+		for k := range prof {
+			sum[k] += prof[k]
+		}
+		groupN[h]++
+	}
+	cost := 0.0
+	for _, v := range c.VMs() {
+		h := hostOf(v)
+		if h == nil {
+			continue
+		}
+		var mean [ProfileHours]float64
+		sum := groupSum[h]
+		n := float64(groupN[h])
+		for k := range mean {
+			mean[k] = sum[k] / n
+		}
+		cost += profileDist(profiles[v.ID], mean)
+	}
+	return cost
+}

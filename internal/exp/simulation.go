@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/dcsim"
+	"drowsydc/internal/drowsy"
+	"drowsydc/internal/oasis"
+	"drowsydc/internal/simtime"
+	"drowsydc/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// §VI-B (reconstructed) — simulation at datacenter scale
+
+// SimConfig shapes the datacenter-scale sweep.
+type SimConfig struct {
+	Hosts     int
+	Slots     int // VMs per host
+	Days      int
+	Fractions []float64 // LLMI fractions to sweep
+	// RebalanceEvery trades fidelity for speed on the O(n²) baseline.
+	RebalanceEvery int
+}
+
+// DefaultSimConfig mirrors a small CloudSim-style datacenter: the sweep
+// remains laptop-scale while large enough for placement structure to
+// matter.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Hosts:          16,
+		Slots:          4,
+		Days:           21,
+		Fractions:      []float64{0, 0.25, 0.5, 0.75, 1.0},
+		RebalanceEvery: 6,
+	}
+}
+
+// SimPoint is one row of the sweep.
+type SimPoint struct {
+	LLMIFraction float64
+	DrowsyKWh    float64
+	NeatS3KWh    float64
+	NeatKWh      float64 // vanilla, no suspension
+	OasisKWh     float64
+
+	ImprovVsNeat   float64 // Drowsy saving vs vanilla Neat, percent
+	ImprovVsNeatS3 float64
+	ImprovVsOasis  float64
+}
+
+// population builds a mixed VM population: llmiFrac of the VMs are LLMI
+// (drawn from the production-like trace classes with phase-shifted
+// variants), the rest LLMU.
+func population(n int, llmiFrac float64) []VMSpec {
+	specs := make([]VMSpec, 0, n)
+	nLLMI := int(llmiFrac*float64(n) + 0.5)
+	for i := 0; i < n; i++ {
+		var g trace.Generator
+		kind := cluster.KindLLMU
+		timer := false
+		if i < nLLMI {
+			kind = cluster.KindLLMI
+			base := trace.RealTrace(1 + i%5)
+			// Phase-shift within the day/week so idle periods of
+			// different VMs genuinely differ.
+			g = trace.Variant(base, uint64(1000+i), (i/5)%24)
+			if i%7 == 6 {
+				g = trace.DailyBackup(0.5)
+				g.Name = fmt.Sprintf("backup-%d", i)
+				timer = true
+			}
+		} else {
+			g = trace.LLMU(uint64(9000 + i))
+		}
+		specs = append(specs, VMSpec{
+			Name:        fmt.Sprintf("vm%03d", i),
+			Kind:        kind,
+			MemGB:       4,
+			VCPUs:       2,
+			Gen:         g,
+			TimerDriven: timer,
+			InitialHost: -1,
+		})
+	}
+	return specs
+}
+
+// RunSimulation executes the LLMI-fraction sweep under the four
+// configurations.
+func RunSimulation(cfg SimConfig) []SimPoint {
+	var out []SimPoint
+	nVMs := cfg.Hosts * cfg.Slots * 3 / 4 // 75% occupancy: consolidation has room
+	for _, frac := range cfg.Fractions {
+		run := func(policy cluster.Policy, suspendOn, grace bool) *dcsim.Result {
+			c := BuildCluster(cfg.Hosts, 4*cfg.Slots, 2*cfg.Slots, cfg.Slots, population(nVMs, frac))
+			return dcsim.NewRunner(dcsim.Config{
+				Hours:           cfg.Days * 24,
+				EnableSuspend:   suspendOn,
+				UseGrace:        grace,
+				RebalanceEvery:  cfg.RebalanceEvery,
+				RequestsPerHour: 50,
+			}, c, policy).Run()
+		}
+		drowsyRes := run(drowsy.New(drowsy.Options{FullRelocation: true}), true, true)
+		neatS3 := run(NewPolicy("neat"), true, false)
+		neatVan := run(NewPolicy("neat"), false, false)
+		oasisRes := run(oasis.New(oasis.Options{Window: 72}), true, false)
+		p := SimPoint{
+			LLMIFraction: frac,
+			DrowsyKWh:    drowsyRes.EnergyKWh,
+			NeatS3KWh:    neatS3.EnergyKWh,
+			NeatKWh:      neatVan.EnergyKWh,
+			OasisKWh:     oasisRes.EnergyKWh,
+		}
+		p.ImprovVsNeat = 100 * (1 - p.DrowsyKWh/p.NeatKWh)
+		p.ImprovVsNeatS3 = 100 * (1 - p.DrowsyKWh/p.NeatS3KWh)
+		p.ImprovVsOasis = 100 * (1 - p.DrowsyKWh/p.OasisKWh)
+		out = append(out, p)
+	}
+	return out
+}
+
+// RenderSimulation prints the sweep.
+func RenderSimulation(w io.Writer, cfg SimConfig, pts []SimPoint) {
+	writef(w, "Simulation (§VI-B reconstructed): %d hosts × %d slots, %d days\n",
+		cfg.Hosts, cfg.Slots, cfg.Days)
+	writef(w, "%-10s %10s %10s %10s %10s | %8s %8s %8s\n",
+		"LLMI frac", "Drowsy", "Neat+S3", "Neat", "Oasis", "vsNeat", "vsNeatS3", "vsOasis")
+	for _, p := range pts {
+		writef(w, "%-10.2f %7.1fkWh %7.1fkWh %7.1fkWh %7.1fkWh | %7.1f%% %7.1f%% %7.1f%%\n",
+			p.LLMIFraction, p.DrowsyKWh, p.NeatS3KWh, p.NeatKWh, p.OasisKWh,
+			p.ImprovVsNeat, p.ImprovVsNeatS3, p.ImprovVsOasis)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §VII — consolidation complexity: Drowsy O(n) vs Oasis O(n²)
+
+// ScalePoint compares per-round work at one VM count.
+type ScalePoint struct {
+	VMs        int
+	DrowsyIPs  uint64 // IP evaluations per rebalance
+	OasisPairs uint64 // pair evaluations per rebalance
+}
+
+// RunScaling measures one rebalance round at each population size.
+func RunScaling(sizes []int) []ScalePoint {
+	var out []ScalePoint
+	for _, n := range sizes {
+		hosts := (n + 3) / 4
+		specs := population(n, 1.0)
+		cd := BuildCluster(hosts, 16, 8, 4, specs)
+		dp := drowsy.New(drowsy.Options{FullRelocation: true})
+		seedPlacement(cd)
+		trainHours(cd, 24)
+		dp.Rebalance(cd, 25)
+
+		co := BuildCluster(hosts, 16, 8, 4, specs)
+		op := oasis.New(oasis.Options{Window: 24})
+		seedPlacement(co)
+		trainHours(co, 24)
+		op.Rebalance(co, 25)
+
+		out = append(out, ScalePoint{VMs: n, DrowsyIPs: dp.IPEvaluations(), OasisPairs: op.PairEvaluations()})
+	}
+	return out
+}
+
+func seedPlacement(c *cluster.Cluster) {
+	hi := 0
+	for _, v := range c.VMs() {
+		for !c.Hosts()[hi%len(c.Hosts())].CanHost(v) {
+			hi++
+		}
+		if err := c.Place(v, c.Hosts()[hi%len(c.Hosts())]); err != nil {
+			panic(err)
+		}
+		hi++
+	}
+}
+
+func trainHours(c *cluster.Cluster, hours int) {
+	for h := simtime.Hour(0); h < simtime.Hour(hours); h++ {
+		for _, v := range c.VMs() {
+			v.Observe(h, v.Activity(h))
+		}
+	}
+}
+
+// RenderScaling prints the complexity comparison.
+func RenderScaling(w io.Writer, pts []ScalePoint) {
+	writef(w, "Consolidation complexity (§VII): per-round evaluations\n")
+	writef(w, "%8s %15s %15s %10s\n", "VMs", "Drowsy IP-evals", "Oasis pair-evals", "ratio")
+	for _, p := range pts {
+		ratio := float64(p.OasisPairs) / float64(p.DrowsyIPs)
+		writef(w, "%8d %15d %15d %9.1fx\n", p.VMs, p.DrowsyIPs, p.OasisPairs, ratio)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II — trace catalogue
+
+// RenderTable2 prints the Table II trace types with measured idleness.
+func RenderTable2(w io.Writer) {
+	writef(w, "Table II: trace types for idleness model evaluation\n")
+	writef(w, "%-18s %12s %14s  %s\n", "trace", "idle frac", "mean activity", "periodicity")
+	descr := []string{
+		"daily (backup at 02:00)",
+		"three times a week, yearly (none in Jul/Aug)",
+		"daily, weekly (production-like)",
+		"daily, weekly (production-like)",
+		"daily, weekly (production-like)",
+		"daily, weekly (production-like)",
+		"daily, monthly (production-like)",
+		"none (long-lived mostly used)",
+	}
+	for i, g := range trace.TableII() {
+		tr := trace.Generate(g, 0, simtime.HoursPerYear)
+		writef(w, "%-18s %11.1f%% %13.3f  %s\n",
+			g.Name, 100*tr.IdleFraction(0.01), tr.MeanActivity(), descr[i])
+	}
+}

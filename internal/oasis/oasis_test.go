@@ -1,0 +1,147 @@
+package oasis
+
+import (
+	"testing"
+
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/trace"
+)
+
+func buildCluster(nHosts, slots int) *cluster.Cluster {
+	c := cluster.New()
+	for i := 0; i < nHosts; i++ {
+		c.AddHost(cluster.NewHost(i, "h", 16, 8, slots))
+	}
+	return c
+}
+
+func TestIdleOverlapScoring(t *testing.T) {
+	p := New(Options{Window: 48})
+	// Two identical backup traces: idle together except the backup hour.
+	a := cluster.NewVM(0, "a", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	b := cluster.NewVM(1, "b", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	// An always-active VM overlaps with nobody.
+	u := cluster.NewVM(2, "u", cluster.KindLLMU, 4, 2, trace.LLMU(3))
+	matched := p.idleOverlap(a, b, 48)
+	mismatched := p.idleOverlap(a, u, 48)
+	if matched <= mismatched {
+		t.Fatalf("overlap(a,b)=%v should exceed overlap(a,u)=%v", matched, mismatched)
+	}
+	if mismatched != 0 {
+		t.Fatalf("overlap with an always-active VM = %v, want 0", mismatched)
+	}
+	// 23 of 24 hours idle together.
+	if matched < 0.9 {
+		t.Fatalf("matched overlap = %v, want ~0.96", matched)
+	}
+}
+
+func TestRebalancePairsMatchingVMs(t *testing.T) {
+	c := buildCluster(3, 2)
+	p := New(Options{Window: 7 * 24})
+	// Two idle backup VMs each stuck with an always-active LLMU VM:
+	// their current pair overlap is 0, so the pass must bring the
+	// backups together.
+	backup1 := cluster.NewVM(0, "b1", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	backup2 := cluster.NewVM(1, "b2", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	busy1 := cluster.NewVM(2, "u1", cluster.KindLLMU, 4, 2, trace.LLMU(1))
+	busy2 := cluster.NewVM(3, "u2", cluster.KindLLMU, 4, 2, trace.LLMU(2))
+	for _, v := range []*cluster.VM{backup1, backup2, busy1, busy2} {
+		c.AddVM(v)
+	}
+	_ = c.Place(backup1, c.Hosts()[0])
+	_ = c.Place(busy1, c.Hosts()[0])
+	_ = c.Place(backup2, c.Hosts()[1])
+	_ = c.Place(busy2, c.Hosts()[1])
+	p.Rebalance(c, 7*24)
+	if backup1.Host() != backup2.Host() {
+		t.Fatal("backup VMs should be paired")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceQuadraticCost(t *testing.T) {
+	c := buildCluster(8, 4)
+	p := New(Options{Window: 24})
+	n := 16
+	for i := 0; i < n; i++ {
+		v := cluster.NewVM(i, "v", cluster.KindLLMI, 1, 1, trace.RealTrace(1+i%5))
+		c.AddVM(v)
+		_ = c.Place(v, c.Hosts()[i%8])
+	}
+	before := p.PairEvaluations()
+	p.Rebalance(c, 48)
+	evals := p.PairEvaluations() - before
+	if evals < uint64(n*(n-1)/2) {
+		t.Fatalf("pair evaluations %d < n(n-1)/2 = %d: not exhaustive", evals, n*(n-1)/2)
+	}
+}
+
+func TestStickyMarginPreventsChurn(t *testing.T) {
+	c := buildCluster(2, 2)
+	p := New(Options{Window: 48})
+	a := cluster.NewVM(0, "a", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	b := cluster.NewVM(1, "b", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	c.AddVM(a)
+	c.AddVM(b)
+	_ = c.Place(a, c.Hosts()[0])
+	_ = c.Place(b, c.Hosts()[0])
+	p.Rebalance(c, 48)
+	if c.Migrations() != 0 {
+		t.Fatalf("already-optimal pair migrated %d times", c.Migrations())
+	}
+}
+
+func TestPlaceNewJoinsBestOverlap(t *testing.T) {
+	c := buildCluster(2, 2)
+	p := New(Options{Window: 48})
+	resident1 := cluster.NewVM(0, "r1", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	resident2 := cluster.NewVM(1, "r2", cluster.KindLLMU, 4, 2, trace.LLMU(1))
+	c.AddVM(resident1)
+	c.AddVM(resident2)
+	_ = c.Place(resident1, c.Hosts()[0])
+	_ = c.Place(resident2, c.Hosts()[1])
+	v := cluster.NewVM(2, "new", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	c.AddVM(v)
+	dst, err := p.PlaceNew(c, v, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != c.Hosts()[0] {
+		t.Fatalf("new backup VM placed on %s; should join the matching backup VM", dst.Name)
+	}
+}
+
+func TestPlaceNewNoCapacity(t *testing.T) {
+	c := buildCluster(1, 1)
+	p := New(Options{})
+	r := cluster.NewVM(0, "r", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	c.AddVM(r)
+	_ = c.Place(r, c.Hosts()[0])
+	v := cluster.NewVM(1, "v", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	c.AddVM(v)
+	if _, err := p.PlaceNew(c, v, 0); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestRebalanceTinyClusters(t *testing.T) {
+	p := New(Options{})
+	c := buildCluster(1, 2)
+	p.Rebalance(c, 10) // no VMs: no panic
+	v := cluster.NewVM(0, "v", cluster.KindLLMI, 4, 2, trace.DailyBackup(0.5))
+	c.AddVM(v)
+	_ = c.Place(v, c.Hosts()[0])
+	p.Rebalance(c, 10) // one VM: no pairs
+	if c.Migrations() != 0 {
+		t.Fatal("nothing to do")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(Options{}).Name() != "oasis" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,299 @@
+// Package ossim simulates the slice of a host operating system that the
+// Drowsy-DC suspending module observes (§IV–V-B of the paper):
+//
+//   - a process table with run states, so the module can ask "is any
+//     process of interest runnable or blocked on I/O?";
+//   - CPU scheduler-quantum accounting per process, the raw material of
+//     the VM activity levels fed to the idleness model;
+//   - the high-resolution timer queue the kernel keeps in a red-black
+//     tree, which the paper walks with a helper kernel module to find
+//     the earliest waking date (implemented here as a binary heap —
+//     same ordered-extraction semantics, simpler code);
+//   - a process blacklist covering the paper's false negatives
+//     (monitoring agents, kernel watchdogs) so they neither block
+//     suspension nor register waking dates.
+package ossim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"drowsydc/internal/simtime"
+)
+
+// ProcState is a process run state.
+type ProcState int
+
+const (
+	// StateSleeping: the process waits on a timer or event; it does not
+	// prevent suspension.
+	StateSleeping ProcState = iota
+	// StateRunning: the process is on a run queue; the host is busy.
+	StateRunning
+	// StateBlockedIO: the process waits on a resource such as a disk
+	// read. The paper counts this as a false positive for idleness: the
+	// host must NOT be suspended while I/O is in flight.
+	StateBlockedIO
+)
+
+// String names the state.
+func (s ProcState) String() string {
+	switch s {
+	case StateSleeping:
+		return "sleeping"
+	case StateRunning:
+		return "running"
+	case StateBlockedIO:
+		return "blocked-io"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Process is one entry of the simulated process table.
+type Process struct {
+	PID   int
+	Name  string
+	State ProcState
+	// OpenSessions counts open long-lived connections (SSH, TCP). The
+	// paper notes these are invisible false positives without
+	// introspection; Drowsy-DC deliberately ignores them and relies on
+	// quick resume, but the count is modelled so experiments can
+	// quantify that choice.
+	OpenSessions int
+	// quanta accumulates scheduler quanta consumed since the last call
+	// to DrainQuanta.
+	quanta int64
+}
+
+// hrTimer is one entry in the kernel's high-resolution timer queue.
+type hrTimer struct {
+	at    simtime.Time
+	pid   int
+	seq   uint64
+	index int
+}
+
+type timerHeap []*hrTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	tm := x.(*hrTimer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}
+
+// OS is a simulated host operating system. It is not safe for concurrent
+// use; each simulated host owns one and is driven by the single-threaded
+// event engine.
+type OS struct {
+	procs     map[int]*Process
+	timers    timerHeap
+	seq       uint64
+	nextPID   int
+	blacklist map[string]bool
+	// totalQuanta is the quanta capacity per hour (one per scheduler
+	// tick per CPU); activity levels are quanta/totalQuanta.
+	totalQuantaPerHour int64
+}
+
+// DefaultQuantaPerHour models a 4 ms scheduler quantum on 8 logical
+// CPUs: 3600 s / 0.004 s × 8.
+const DefaultQuantaPerHour = int64(3600/0.004) * 8
+
+// New creates an OS with the given per-hour quanta capacity (0 selects
+// DefaultQuantaPerHour).
+func New(quantaPerHour int64) *OS {
+	if quantaPerHour == 0 {
+		quantaPerHour = DefaultQuantaPerHour
+	}
+	if quantaPerHour < 0 {
+		panic("ossim: negative quanta capacity")
+	}
+	return &OS{
+		procs:              make(map[int]*Process),
+		blacklist:          make(map[string]bool),
+		nextPID:            1,
+		totalQuantaPerHour: quantaPerHour,
+	}
+}
+
+// QuantaPerHour returns the hourly quanta capacity.
+func (o *OS) QuantaPerHour() int64 { return o.totalQuantaPerHour }
+
+// Blacklist marks process names to be ignored by idleness checks and
+// timer scans — the paper's monitoring daemons and kernel watchdogs.
+func (o *OS) Blacklist(names ...string) {
+	for _, n := range names {
+		o.blacklist[n] = true
+	}
+}
+
+// IsBlacklisted reports whether a process name is blacklisted.
+func (o *OS) IsBlacklisted(name string) bool { return o.blacklist[name] }
+
+// Spawn adds a process and returns its PID.
+func (o *OS) Spawn(name string, st ProcState) int {
+	pid := o.nextPID
+	o.nextPID++
+	o.procs[pid] = &Process{PID: pid, Name: name, State: st}
+	return pid
+}
+
+// Kill removes a process and its pending timers.
+func (o *OS) Kill(pid int) {
+	if _, ok := o.procs[pid]; !ok {
+		return
+	}
+	delete(o.procs, pid)
+	// Remove the dead process's timers lazily: rebuild without them.
+	kept := o.timers[:0]
+	for _, tm := range o.timers {
+		if tm.pid != pid {
+			kept = append(kept, tm)
+		}
+	}
+	o.timers = kept
+	heap.Init(&o.timers)
+}
+
+// Process returns the process with the given PID, or nil.
+func (o *OS) Process(pid int) *Process { return o.procs[pid] }
+
+// NumProcesses returns the process count.
+func (o *OS) NumProcesses() int { return len(o.procs) }
+
+// NumTimers returns the number of registered timers.
+func (o *OS) NumTimers() int { return len(o.timers) }
+
+// SetState updates a process's run state; unknown PIDs panic (a
+// simulation wiring bug).
+func (o *OS) SetState(pid int, st ProcState) {
+	p, ok := o.procs[pid]
+	if !ok {
+		panic(fmt.Sprintf("ossim: SetState on unknown pid %d", pid))
+	}
+	p.State = st
+}
+
+// AddQuanta credits scheduler quanta to a process for the current hour.
+func (o *OS) AddQuanta(pid int, quanta int64) {
+	p, ok := o.procs[pid]
+	if !ok {
+		panic(fmt.Sprintf("ossim: AddQuanta on unknown pid %d", pid))
+	}
+	if quanta < 0 {
+		panic("ossim: negative quanta")
+	}
+	p.quanta += quanta
+}
+
+// DrainQuanta returns and resets the quanta consumed by pid since the
+// last drain, as a fraction of the hourly capacity — exactly the
+// activity level of §III-C.
+func (o *OS) DrainQuanta(pid int) float64 {
+	p, ok := o.procs[pid]
+	if !ok {
+		panic(fmt.Sprintf("ossim: DrainQuanta on unknown pid %d", pid))
+	}
+	q := p.quanta
+	p.quanta = 0
+	f := float64(q) / float64(o.totalQuantaPerHour)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// RegisterTimer adds a high-resolution timer owned by pid expiring at
+// the given time, mirroring a sleeping process's wakeup registration.
+func (o *OS) RegisterTimer(pid int, at simtime.Time) {
+	if _, ok := o.procs[pid]; !ok {
+		panic(fmt.Sprintf("ossim: RegisterTimer on unknown pid %d", pid))
+	}
+	heap.Push(&o.timers, &hrTimer{at: at, pid: pid, seq: o.seq})
+	o.seq++
+}
+
+// PopExpired removes and returns the PIDs of timers expiring at or
+// before now, in expiry order.
+func (o *OS) PopExpired(now simtime.Time) []int {
+	var pids []int
+	for len(o.timers) > 0 && o.timers[0].at <= now {
+		tm := heap.Pop(&o.timers).(*hrTimer)
+		pids = append(pids, tm.pid)
+	}
+	return pids
+}
+
+// Idle implements the suspending module's idleness check (§IV): the host
+// is idle when no non-blacklisted process is running or blocked on I/O.
+// Running blacklisted processes (monitoring, watchdogs) are the paper's
+// false negatives and are ignored; blocked-on-I/O processes are the
+// first kind of false positive and veto suspension.
+func (o *OS) Idle() bool {
+	for _, p := range o.procs {
+		if o.blacklist[p.Name] {
+			continue
+		}
+		if p.State == StateRunning || p.State == StateBlockedIO {
+			return false
+		}
+	}
+	return true
+}
+
+// NextWake scans the timer queue for the earliest timer registered by a
+// non-blacklisted process (§V-B): the scheduled waking date. ok is false
+// when no valid timer exists, meaning the host may sleep indefinitely
+// until an external request arrives.
+func (o *OS) NextWake() (at simtime.Time, ok bool) {
+	// The underlying heap is only ordered at the root, so walk all
+	// timers; the kernel-module equivalent walks the rb-tree in order
+	// and can stop at the first non-filtered entry, but the queue is
+	// small and this keeps the heap invariant untouched.
+	best := simtime.Time(0)
+	found := false
+	for _, tm := range o.timers {
+		p := o.procs[tm.pid]
+		if p == nil || o.blacklist[p.Name] {
+			continue
+		}
+		if !found || tm.at < best {
+			best = tm.at
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Snapshot returns the process table sorted by PID, for experiment logs.
+func (o *OS) Snapshot() []Process {
+	out := make([]Process, 0, len(o.procs))
+	for _, p := range o.procs {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}

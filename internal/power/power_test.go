@@ -1,0 +1,187 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultProfileValid(t *testing.T) {
+	p := DefaultProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: suspended ≈ 5W, around 10% of idle S0.
+	if p.SuspendedWatts != 5 {
+		t.Fatalf("suspended = %vW, want 5", p.SuspendedWatts)
+	}
+	if r := p.SuspendedWatts / p.IdleWatts; math.Abs(r-0.10) > 0.02 {
+		t.Fatalf("suspended/idle ratio = %v, want ~0.10", r)
+	}
+	if p.ResumeLatency != 0.8 || p.NaiveResumeLatency != 1.5 {
+		t.Fatalf("resume latencies %v/%v, want 0.8/1.5", p.ResumeLatency, p.NaiveResumeLatency)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{IdleWatts: 0, PeakWatts: 100, SuspendedWatts: 5, ResumeLatency: 1, NaiveResumeLatency: 1},
+		{IdleWatts: 50, PeakWatts: 40, SuspendedWatts: 5, ResumeLatency: 1, NaiveResumeLatency: 1},
+		{IdleWatts: 50, PeakWatts: 100, SuspendedWatts: 0, ResumeLatency: 1, NaiveResumeLatency: 1},
+		{IdleWatts: 50, PeakWatts: 100, SuspendedWatts: 60, ResumeLatency: 1, NaiveResumeLatency: 1},
+		{IdleWatts: 50, PeakWatts: 100, SuspendedWatts: 5, OffWatts: 10, ResumeLatency: 1, NaiveResumeLatency: 1},
+		{IdleWatts: 50, PeakWatts: 100, SuspendedWatts: 5, ResumeLatency: 2, NaiveResumeLatency: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should be invalid: %+v", i, p)
+		}
+	}
+}
+
+func TestPowerIsLoadProportional(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.Power(StateActive, 0); got != p.IdleWatts {
+		t.Fatalf("active@0 = %v", got)
+	}
+	if got := p.Power(StateActive, 1); got != p.PeakWatts {
+		t.Fatalf("active@1 = %v", got)
+	}
+	if got := p.Power(StateActive, 0.5); got != (p.IdleWatts+p.PeakWatts)/2 {
+		t.Fatalf("active@0.5 = %v", got)
+	}
+	// Clamping.
+	if p.Power(StateActive, -1) != p.IdleWatts || p.Power(StateActive, 2) != p.PeakWatts {
+		t.Fatal("utilization clamping broken")
+	}
+	if p.Power(StateSuspended, 0) != p.SuspendedWatts {
+		t.Fatal("suspended power wrong")
+	}
+	if p.Power(StateOff, 0) != p.OffWatts {
+		t.Fatal("off power wrong")
+	}
+}
+
+func TestStateMachineLegality(t *testing.T) {
+	legal := [][2]State{
+		{StateActive, StateSuspending},
+		{StateSuspending, StateSuspended},
+		{StateSuspended, StateResuming},
+		{StateResuming, StateActive},
+		{StateActive, StateOff},
+		{StateOff, StateResuming},
+		{StateSuspended, StateOff},
+	}
+	for _, c := range legal {
+		if !CanTransition(c[0], c[1]) {
+			t.Errorf("%v -> %v should be legal", c[0], c[1])
+		}
+	}
+	illegal := [][2]State{
+		{StateActive, StateSuspended},
+		{StateSuspended, StateActive},
+		{StateActive, StateActive},
+		{StateSuspending, StateActive},
+		{StateOff, StateActive},
+	}
+	for _, c := range illegal {
+		if CanTransition(c[0], c[1]) {
+			t.Errorf("%v -> %v should be illegal", c[0], c[1])
+		}
+	}
+}
+
+func TestMachineEnergyIntegration(t *testing.T) {
+	p := DefaultProfile()
+	m := NewMachine(p, 0)
+	m.SetUtilization(0, 1.0)
+	// 1 hour at peak.
+	m.Transition(3600, StateSuspending)
+	// SuspendLatency seconds at idle power, then suspended until hour 2.
+	m.Transition(3600+p.SuspendLatency, StateSuspended)
+	m.Finish(7200)
+	wantJ := p.PeakWatts*3600 + p.IdleWatts*p.SuspendLatency + p.SuspendedWatts*(3600-p.SuspendLatency)
+	if math.Abs(m.Joules()-wantJ) > 1e-6 {
+		t.Fatalf("joules = %v, want %v", m.Joules(), wantJ)
+	}
+	if math.Abs(m.SuspendedSeconds()-(3600-p.SuspendLatency)) > 1e-9 {
+		t.Fatalf("suspended secs = %v", m.SuspendedSeconds())
+	}
+	if f := m.SuspendedFraction(); math.Abs(f-(3600-p.SuspendLatency)/7200) > 1e-9 {
+		t.Fatalf("suspended fraction = %v", f)
+	}
+	if m.SuspendCount() != 1 {
+		t.Fatalf("suspend count = %d", m.SuspendCount())
+	}
+}
+
+func TestMachineIllegalTransitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachine(DefaultProfile(), 0).Transition(1, StateSuspended)
+}
+
+func TestMachineTimeBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewMachine(DefaultProfile(), 100)
+	m.Finish(50)
+}
+
+func TestSuspendedCheaperThanActiveProperty(t *testing.T) {
+	// Property: for any split of a fixed horizon between active-idle and
+	// suspended time, more suspension never increases energy.
+	p := DefaultProfile()
+	f := func(raw uint16) bool {
+		frac := float64(raw) / 65535
+		horizon := 10000.0
+		suspAt := horizon * (1 - frac)
+		m := NewMachine(p, 0)
+		m.Transition(suspAt, StateSuspending)
+		m.Transition(suspAt+p.SuspendLatency, StateSuspended)
+		m.Finish(horizon + p.SuspendLatency)
+		alwaysOn := NewMachine(p, 0)
+		alwaysOn.Finish(horizon + p.SuspendLatency)
+		return m.Joules() <= alwaysOn.Joules()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		StateActive: "active", StateSuspending: "suspending",
+		StateSuspended: "suspended", StateResuming: "resuming", StateOff: "off",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if State(99).String() == "" {
+		t.Error("unknown state should still render")
+	}
+}
+
+func TestFullCycleEndsActive(t *testing.T) {
+	p := DefaultProfile()
+	m := NewMachine(p, 0)
+	m.Transition(10, StateSuspending)
+	m.Transition(10+p.SuspendLatency, StateSuspended)
+	m.Transition(100, StateResuming)
+	m.Transition(100+p.ResumeLatency, StateActive)
+	if m.State() != StateActive {
+		t.Fatalf("state = %v", m.State())
+	}
+	m.Finish(200)
+	if m.Joules() <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+}

@@ -1,0 +1,172 @@
+// Package sim provides the discrete-event engine driving the Drowsy-DC
+// datacenter simulation. It plays the role CloudSim plays in the paper's
+// §VI-B: a virtual clock and an ordered event queue, fully deterministic
+// (ties broken by scheduling order) and free of wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"drowsydc/internal/simtime"
+)
+
+// Handler is the callback attached to an event. It receives the engine
+// so it can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a queue entry. seq breaks ties between events scheduled for
+// the same instant, preserving scheduling order (determinism).
+type event struct {
+	at       simtime.Time
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event, usable to cancel it.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. It reports whether the cancellation
+// took effect.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the event loop. The zero value is ready to use at time 0.
+type Engine struct {
+	now    simtime.Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns an engine starting at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// NowHour returns the calendar hour containing the current time.
+func (e *Engine) NowHour() simtime.Hour { return simtime.HourOf(e.now) }
+
+// Fired returns the number of events executed, for diagnostics.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at time at. Scheduling in the past panics:
+// the simulation is strictly causal.
+func (e *Engine) Schedule(at simtime.Time, fn Handler) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After enqueues fn to run d seconds from now.
+func (e *Engine) After(d simtime.Duration, fn Handler) *Timer {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Step executes the next event. It reports false when the queue is
+// drained (skipping canceled events without executing them).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events up to and including time limit, then advances
+// the clock to limit. Events scheduled during execution are honored if
+// they fall within the limit.
+func (e *Engine) RunUntil(limit simtime.Time) {
+	if limit < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%d) before now %d", limit, e.now))
+	}
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > limit {
+			break
+		}
+		e.Step()
+		if e.halted {
+			e.halted = false
+			return
+		}
+	}
+	e.now = limit
+}
+
+// Run drains the queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+		if e.halted {
+			e.halted = false
+			return
+		}
+	}
+}
+
+// Halt stops the current Run/RunUntil after the current event returns.
+func (e *Engine) Halt() { e.halted = true }

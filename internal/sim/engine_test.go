@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"drowsydc/internal/simtime"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []simtime.Time
+	for _, at := range []simtime.Time{50, 10, 30, 20, 40} {
+		at := at
+		e.Schedule(at, func(e *Engine) { got = append(got, e.Now()) })
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d events", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+}
+
+func TestTiesBreakByScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func(*Engine) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.Schedule(10, func(*Engine) { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active")
+	}
+	if !tm.Cancel() {
+		t.Fatal("cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("double cancel should report false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if tm.Active() {
+		t.Fatal("canceled timer should be inactive")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := New()
+	tm := e.Schedule(5, func(*Engine) {})
+	e.Run()
+	if tm.Cancel() {
+		t.Fatal("canceling a fired timer should report false")
+	}
+	var nilTimer *Timer
+	if nilTimer.Cancel() || nilTimer.Active() {
+		t.Fatal("nil timer should be inert")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(10, func(*Engine) { fired++ })
+	e.Schedule(100, func(*Engine) { fired++ })
+	e.RunUntil(50)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("now = %d, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if fired != 2 || e.Now() != 200 {
+		t.Fatalf("fired=%d now=%d", fired, e.Now())
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	e := New()
+	var order []string
+	e.Schedule(10, func(e *Engine) {
+		order = append(order, "first")
+		e.After(5, func(*Engine) { order = append(order, "chained") })
+	})
+	e.Schedule(20, func(*Engine) { order = append(order, "second") })
+	e.Run()
+	want := []string{"first", "chained", "second"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(50, func(*Engine) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	e := New()
+	e.RunUntil(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.RunUntil(50)
+}
+
+func TestHalt(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(1, func(e *Engine) { fired++; e.Halt() })
+	e.Schedule(2, func(*Engine) { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("halt ignored, fired=%d", fired)
+	}
+	e.Run() // resumes
+	if fired != 2 {
+		t.Fatalf("resume failed, fired=%d", fired)
+	}
+}
+
+func TestNowHour(t *testing.T) {
+	e := New()
+	e.RunUntil(2*3600 + 10)
+	if e.NowHour() != 2 {
+		t.Fatalf("NowHour = %d", e.NowHour())
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var got []simtime.Time
+		for _, r := range raw {
+			at := simtime.Time(r)
+			e.Schedule(at, func(e *Engine) { got = append(got, e.Now()) })
+		}
+		e.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return e.Fired() == uint64(len(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := New()
+	e.Schedule(1, func(*Engine) {})
+	e.Schedule(2, func(*Engine) {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d", e.Pending())
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := New()
+	fn := func(*Engine) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+simtime.Time(i%100), fn)
+		if i%10 == 0 {
+			e.Step()
+		}
+	}
+	e.Run()
+}

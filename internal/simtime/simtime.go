@@ -1,0 +1,173 @@
+// Package simtime provides the deterministic simulation calendar used by
+// every Drowsy-DC component.
+//
+// The idleness model of the paper (§III-A) indexes its synthesized
+// idleness scores by four calendar scales: the hour in the day, the day in
+// the week, the day in the month, and the month in the year. The
+// simulation therefore needs a calendar that is cheap, allocation-free and
+// fully deterministic. simtime implements a proleptic non-leap calendar:
+// every year has 365 days with the usual month lengths, and hour 0 is
+// 00:00 on Monday, January 1 of year 0. Wall-clock time is never consulted.
+package simtime
+
+import "fmt"
+
+// Hour is an absolute hour count since the simulation epoch
+// (00:00 Monday January 1, year 0).
+type Hour int64
+
+// Time is an absolute time in seconds since the simulation epoch. It is
+// the unit of the discrete-event engine; Hour is the unit of the idleness
+// model and of consolidation rounds.
+type Time int64
+
+// Duration is a span of simulated time in seconds.
+type Duration int64
+
+// Common durations, in seconds.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	HourD  Duration = 3600
+	Day    Duration = 24 * 3600
+)
+
+// Millisecond expresses sub-second latencies; Time itself is integral
+// seconds, so latency bookkeeping that needs milliseconds keeps them as
+// float64 seconds instead (see internal/workload).
+const Millisecond = 1e-3
+
+// Calendar constants of the proleptic non-leap calendar.
+const (
+	HoursPerDay   = 24
+	DaysPerWeek   = 7
+	DaysPerMonth  = 31 // maximum; used as the SI_m index range
+	MonthsPerYear = 12
+	DaysPerYear   = 365
+	HoursPerYear  = HoursPerDay * DaysPerYear // 8760
+)
+
+// monthLengths are the non-leap month lengths.
+var monthLengths = [MonthsPerYear]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// monthStarts[m] is the day-of-year on which month m begins.
+var monthStarts = func() [MonthsPerYear]int {
+	var s [MonthsPerYear]int
+	acc := 0
+	for m, l := range monthLengths {
+		s[m] = acc
+		acc += l
+	}
+	return s
+}()
+
+// MonthLength returns the number of days in month m (0-based).
+func MonthLength(m int) int {
+	if m < 0 || m >= MonthsPerYear {
+		panic(fmt.Sprintf("simtime: month %d out of range", m))
+	}
+	return monthLengths[m]
+}
+
+// Stamp is the decomposition of an absolute Hour into the calendar
+// coordinates consumed by the idleness model. All fields are 0-based.
+type Stamp struct {
+	HourOfDay  int // 0..23
+	DayOfWeek  int // 0..6, 0 = Monday
+	DayOfMonth int // 0..30
+	Month      int // 0..11
+	Year       int
+	DayOfYear  int // 0..364
+	AbsHour    Hour
+}
+
+// Decompose converts an absolute hour into calendar coordinates.
+// Negative hours are not meaningful for the simulation and panic.
+func Decompose(h Hour) Stamp {
+	if h < 0 {
+		panic(fmt.Sprintf("simtime: negative hour %d", h))
+	}
+	day := int64(h) / HoursPerDay
+	st := Stamp{
+		HourOfDay: int(int64(h) % HoursPerDay),
+		DayOfWeek: int(day % DaysPerWeek),
+		Year:      int(day / DaysPerYear),
+		DayOfYear: int(day % DaysPerYear),
+		AbsHour:   h,
+	}
+	doy := st.DayOfYear
+	m := 0
+	for m+1 < MonthsPerYear && doy >= monthStarts[m+1] {
+		m++
+	}
+	st.Month = m
+	st.DayOfMonth = doy - monthStarts[m]
+	return st
+}
+
+// Date builds the absolute hour for the given calendar coordinates
+// (all 0-based: month 0 is January, dayOfMonth 0 is the 1st).
+func Date(year, month, dayOfMonth, hourOfDay int) Hour {
+	if month < 0 || month >= MonthsPerYear {
+		panic(fmt.Sprintf("simtime: month %d out of range", month))
+	}
+	if dayOfMonth < 0 || dayOfMonth >= monthLengths[month] {
+		panic(fmt.Sprintf("simtime: day %d out of range for month %d", dayOfMonth, month))
+	}
+	if hourOfDay < 0 || hourOfDay >= HoursPerDay {
+		panic(fmt.Sprintf("simtime: hour %d out of range", hourOfDay))
+	}
+	day := int64(year)*DaysPerYear + int64(monthStarts[month]) + int64(dayOfMonth)
+	return Hour(day*HoursPerDay + int64(hourOfDay))
+}
+
+// Start returns the Time at which hour h begins.
+func (h Hour) Start() Time { return Time(int64(h) * int64(HourD)) }
+
+// End returns the Time at which hour h ends (exclusive).
+func (h Hour) End() Time { return Time(int64(h+1) * int64(HourD)) }
+
+// Stamp decomposes the hour; shorthand for Decompose(h).
+func (h Hour) Stamp() Stamp { return Decompose(h) }
+
+// Next returns the following hour.
+func (h Hour) Next() Hour { return h + 1 }
+
+// HourOf returns the absolute hour containing t.
+func HourOf(t Time) Hour {
+	if t < 0 {
+		panic(fmt.Sprintf("simtime: negative time %d", t))
+	}
+	return Hour(int64(t) / int64(HourD))
+}
+
+// Add advances a Time by a Duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the Duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Hours converts a Duration to fractional hours.
+func (d Duration) Hours() float64 { return float64(d) / float64(HourD) }
+
+// Seconds converts a Duration to float seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// String renders a stamp for logs and experiment output.
+func (s Stamp) String() string {
+	return fmt.Sprintf("Y%d %s %02d %s %02d:00 (dow %s)",
+		s.Year, monthNames[s.Month], s.DayOfMonth+1, "", s.HourOfDay, dayNames[s.DayOfWeek])
+}
+
+var monthNames = [MonthsPerYear]string{
+	"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+	"Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+}
+
+var dayNames = [DaysPerWeek]string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+
+// MonthName returns the short English name of month m (0-based).
+func MonthName(m int) string { return monthNames[m] }
+
+// DayName returns the short English name of weekday d (0 = Monday).
+func DayName(d int) string { return dayNames[d] }

@@ -1,0 +1,137 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeEpoch(t *testing.T) {
+	st := Decompose(0)
+	if st.HourOfDay != 0 || st.DayOfWeek != 0 || st.DayOfMonth != 0 || st.Month != 0 || st.Year != 0 {
+		t.Fatalf("epoch decomposition wrong: %+v", st)
+	}
+}
+
+func TestDecomposeKnownPoints(t *testing.T) {
+	cases := []struct {
+		h                               Hour
+		hod, dow, dom, month, year, doy int
+	}{
+		{23, 23, 0, 0, 0, 0, 0},             // last hour of Jan 1
+		{24, 0, 1, 1, 0, 0, 1},              // Jan 2, Tuesday
+		{24 * 31, 0, 3, 0, 1, 0, 31},        // Feb 1
+		{24 * (31 + 28), 0, 3, 0, 2, 0, 59}, // Mar 1
+		{24 * 364, 0, 0, 30, 11, 0, 364},    // Dec 31 of year 0
+		{24 * 365, 0, 1, 0, 0, 1, 0},        // Jan 1 of year 1 (365 % 7 = 1 → Tuesday)
+		{24*365*2 + 5, 5, 2, 0, 0, 2, 0},    // Jan 1 year 2, 05:00
+	}
+	for _, c := range cases {
+		st := Decompose(c.h)
+		if st.HourOfDay != c.hod || st.DayOfWeek != c.dow || st.DayOfMonth != c.dom ||
+			st.Month != c.month || st.Year != c.year || st.DayOfYear != c.doy {
+			t.Errorf("Decompose(%d) = %+v, want hod=%d dow=%d dom=%d m=%d y=%d doy=%d",
+				c.h, st, c.hod, c.dow, c.dom, c.month, c.year, c.doy)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	for year := 0; year < 3; year++ {
+		for month := 0; month < MonthsPerYear; month++ {
+			for dom := 0; dom < MonthLength(month); dom += 5 {
+				for hod := 0; hod < HoursPerDay; hod += 7 {
+					h := Date(year, month, dom, hod)
+					st := Decompose(h)
+					if st.Year != year || st.Month != month || st.DayOfMonth != dom || st.HourOfDay != hod {
+						t.Fatalf("round trip failed: Date(%d,%d,%d,%d) -> %+v", year, month, dom, hod, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeRangesProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		h := Hour(raw % (HoursPerYear * 10))
+		st := Decompose(h)
+		return st.HourOfDay >= 0 && st.HourOfDay < HoursPerDay &&
+			st.DayOfWeek >= 0 && st.DayOfWeek < DaysPerWeek &&
+			st.DayOfMonth >= 0 && st.DayOfMonth < MonthLength(st.Month) &&
+			st.Month >= 0 && st.Month < MonthsPerYear &&
+			st.DayOfYear >= 0 && st.DayOfYear < DaysPerYear &&
+			st.AbsHour == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonthLengthsSumToYear(t *testing.T) {
+	sum := 0
+	for m := 0; m < MonthsPerYear; m++ {
+		sum += MonthLength(m)
+	}
+	if sum != DaysPerYear {
+		t.Fatalf("month lengths sum to %d, want %d", sum, DaysPerYear)
+	}
+}
+
+func TestHourTimeConversions(t *testing.T) {
+	h := Hour(100)
+	if h.Start() != 100*3600 {
+		t.Fatalf("Start = %d", h.Start())
+	}
+	if h.End() != 101*3600 {
+		t.Fatalf("End = %d", h.End())
+	}
+	if HourOf(h.Start()) != h || HourOf(h.End()-1) != h || HourOf(h.End()) != h+1 {
+		t.Fatal("HourOf inconsistent with Start/End")
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if HourD.Hours() != 1 {
+		t.Fatal("HourD.Hours != 1")
+	}
+	if (2 * Minute).Seconds() != 120 {
+		t.Fatal("Minute conversion wrong")
+	}
+	tt := Time(10).Add(5 * Second)
+	if tt != 15 {
+		t.Fatalf("Add = %d", tt)
+	}
+	if tt.Sub(10) != 5 {
+		t.Fatalf("Sub = %d", tt.Sub(10))
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative hour", func() { Decompose(-1) })
+	mustPanic("negative time", func() { HourOf(-1) })
+	mustPanic("bad month", func() { Date(0, 12, 0, 0) })
+	mustPanic("bad day", func() { Date(0, 1, 28, 0) }) // Feb 29 does not exist
+	mustPanic("bad hour", func() { Date(0, 0, 0, 24) })
+	mustPanic("month length range", func() { MonthLength(12) })
+}
+
+func TestNames(t *testing.T) {
+	if MonthName(0) != "Jan" || MonthName(11) != "Dec" {
+		t.Fatal("month names wrong")
+	}
+	if DayName(0) != "Mon" || DayName(6) != "Sun" {
+		t.Fatal("day names wrong")
+	}
+	s := Decompose(Date(1, 6, 19, 14)).String()
+	if s == "" {
+		t.Fatal("empty stamp string")
+	}
+}

@@ -1,0 +1,227 @@
+package suspend
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drowsydc/internal/ossim"
+	"drowsydc/internal/simtime"
+)
+
+func TestGraceTimeEndpoints(t *testing.T) {
+	if g := GraceTime(1); g != MinGrace {
+		t.Fatalf("GraceTime(1) = %v, want %v", g, MinGrace)
+	}
+	if g := GraceTime(0); g != MaxGrace {
+		t.Fatalf("GraceTime(0) = %v, want %v", g, MaxGrace)
+	}
+	// Out-of-range probabilities clamp.
+	if GraceTime(-3) != MaxGrace || GraceTime(7) != MinGrace {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestGraceTimeMonotoneProperty(t *testing.T) {
+	// Property: grace time decreases (weakly) as probability increases.
+	f := func(a, b uint16) bool {
+		pa := float64(a) / 65535
+		pb := float64(b) / 65535
+		ga, gb := GraceTime(pa), GraceTime(pb)
+		if pa < pb {
+			return ga >= gb
+		}
+		return gb >= ga
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraceTimeExponentialShape(t *testing.T) {
+	// Halfway probability should give the geometric mean of the bounds
+	// (~24.5 s), not the arithmetic mean (62.5 s): the curve is
+	// exponential, conservative toward active VMs.
+	mid := GraceTime(0.5)
+	if mid < 20*simtime.Second || mid > 30*simtime.Second {
+		t.Fatalf("GraceTime(0.5) = %vs, want ~24.5s (geometric)", mid)
+	}
+}
+
+func TestGraceTimeNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GraceTime(nan())
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func newIdleOS() *ossim.OS {
+	os := ossim.New(0)
+	os.Blacklist("monitord")
+	os.Spawn("monitord", ossim.StateRunning)
+	os.Spawn("qemu-v1", ossim.StateSleeping)
+	return os
+}
+
+func TestCheckSuspendsIdleHost(t *testing.T) {
+	os := newIdleOS()
+	m := NewMonitor(DefaultConfig(), os)
+	m.OnResume(0, 1.0) // grace = MinGrace = 5s
+	if d := m.Check(3); d.Suspend {
+		t.Fatal("grace must veto suspension at t=3")
+	}
+	d := m.Check(10)
+	if !d.Suspend {
+		t.Fatalf("idle host past grace should suspend: %+v", d)
+	}
+	if d.HasWake {
+		t.Fatal("no timers: no waking date")
+	}
+}
+
+func TestCheckVetoesBusyHost(t *testing.T) {
+	os := newIdleOS()
+	pid := os.Spawn("qemu-v2", ossim.StateRunning)
+	m := NewMonitor(DefaultConfig(), os)
+	m.OnResume(0, 1.0)
+	if d := m.Check(100); d.Suspend {
+		t.Fatal("busy host must not suspend")
+	}
+	os.SetState(pid, ossim.StateBlockedIO)
+	if d := m.Check(100); d.Suspend {
+		t.Fatal("blocked-on-IO host must not suspend")
+	}
+	os.SetState(pid, ossim.StateSleeping)
+	if d := m.Check(100); !d.Suspend {
+		t.Fatal("sleeping host should suspend")
+	}
+	_, grace, busy := m.Stats()
+	if grace != 0 || busy != 2 {
+		t.Fatalf("veto stats grace=%d busy=%d", grace, busy)
+	}
+}
+
+func TestWakingDateFromTimers(t *testing.T) {
+	os := newIdleOS()
+	backup := os.Spawn("backup", ossim.StateSleeping)
+	os.RegisterTimer(backup, 5000)
+	wd := os.Snapshot()[0].PID // monitord pid
+	_ = wd
+	// Blacklisted timer earlier than the backup's must be filtered.
+	mon := 1 // monitord was the first spawn
+	os.RegisterTimer(mon, 1000)
+	m := NewMonitor(DefaultConfig(), os)
+	m.OnResume(0, 1.0)
+	d := m.Check(10)
+	if !d.Suspend || !d.HasWake || d.WakeAt != 5000 {
+		t.Fatalf("decision = %+v, want wake at 5000", d)
+	}
+}
+
+func TestAlreadySuspended(t *testing.T) {
+	m := NewMonitor(DefaultConfig(), newIdleOS())
+	m.OnResume(0, 1.0)
+	m.OnSuspend()
+	if !m.Suspended() {
+		t.Fatal("should be suspended")
+	}
+	if d := m.Check(100); d.Suspend {
+		t.Fatal("suspended host cannot suspend again")
+	}
+	m.OnResume(200, 0.0)
+	if m.Suspended() {
+		t.Fatal("resume should clear suspended flag")
+	}
+	// Probability 0 → MaxGrace: no suspension before 200+120.
+	if d := m.Check(310); d.Suspend {
+		t.Fatal("grace of an active-looking host should last 2 minutes")
+	}
+	if d := m.Check(200 + simtime.Time(MaxGrace)); !d.Suspend {
+		t.Fatal("grace expired; should suspend")
+	}
+}
+
+func TestGraceDisabled(t *testing.T) {
+	m := NewMonitor(Config{UseGrace: false}, newIdleOS())
+	m.OnResume(0, 0.0)
+	if d := m.Check(0); !d.Suspend {
+		t.Fatal("without grace an idle host suspends immediately")
+	}
+	if m.GraceUntil() != 0 {
+		t.Fatalf("graceUntil = %v", m.GraceUntil())
+	}
+}
+
+func TestOscillationPrevention(t *testing.T) {
+	// A host flapping between 1-second activity bursts: with grace
+	// enabled the suspend count within a grace window must be at most
+	// one. Simulate 60 check cycles 1 s apart with resume after each
+	// suspension.
+	os := newIdleOS()
+	with := NewMonitor(DefaultConfig(), os)
+	without := NewMonitor(Config{UseGrace: false}, os)
+	suspWith, suspWithout := 0, 0
+	with.OnResume(0, 0.2) // active-ish host: long grace
+	without.OnResume(0, 0.2)
+	for s := simtime.Time(1); s <= 60; s++ {
+		if d := with.Check(s); d.Suspend {
+			suspWith++
+			with.OnSuspend()
+			with.OnResume(s, 0.2) // immediately woken again
+		}
+		if d := without.Check(s); d.Suspend {
+			suspWithout++
+			without.OnSuspend()
+			without.OnResume(s, 0.2)
+		}
+	}
+	if suspWith != 0 {
+		t.Fatalf("grace-protected host oscillated %d times", suspWith)
+	}
+	if suspWithout < 50 {
+		t.Fatalf("unprotected host should oscillate nearly every second, got %d", suspWithout)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil OS should panic")
+			}
+		}()
+		NewMonitor(DefaultConfig(), nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative overhead should panic")
+			}
+		}()
+		NewMonitor(Config{DecisionOverhead: -1}, newIdleOS())
+	}()
+}
+
+func TestDecisionOverheadAccessor(t *testing.T) {
+	m := NewMonitor(DefaultConfig(), newIdleOS())
+	if m.DecisionOverhead() != 1*simtime.Second {
+		t.Fatalf("overhead = %v", m.DecisionOverhead())
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	os := newIdleOS()
+	for i := 0; i < 100; i++ {
+		p := os.Spawn("svc", ossim.StateSleeping)
+		os.RegisterTimer(p, simtime.Time(100000+i))
+	}
+	m := NewMonitor(DefaultConfig(), os)
+	m.OnResume(0, 1.0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Check(simtime.Time(10 + i))
+	}
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drowsydc/internal/simtime"
+)
+
+func TestGenerateBounds(t *testing.T) {
+	for _, g := range TableII() {
+		tr := Generate(g, 0, simtime.HoursPerYear)
+		for i, v := range tr.Levels {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s: level[%d] = %v out of [0,1]", g.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestDailyBackupPattern(t *testing.T) {
+	g := DailyBackup(0.6)
+	for day := 0; day < 40; day++ {
+		for hod := 0; hod < 24; hod++ {
+			v := g.Activity(simtime.Hour(day*24 + hod))
+			if hod == 2 {
+				if v != 0.6 {
+					t.Fatalf("day %d 02:00: activity %v, want 0.6", day, v)
+				}
+			} else if v != 0 {
+				t.Fatalf("day %d %02d:00: activity %v, want 0", day, hod, v)
+			}
+		}
+	}
+}
+
+func TestComicStripsHolidaysAndWeekdays(t *testing.T) {
+	g := ComicStrips(0.5)
+	// Monday morning outside July/August: active.
+	h := simtime.Date(0, 2, 0, 9) // March 1 year 0... find a Monday in March.
+	st := simtime.Decompose(h)
+	// Walk forward to the first Monday.
+	for st.DayOfWeek != 0 {
+		h += 24
+		st = simtime.Decompose(h)
+	}
+	if g.Activity(h) != 0.5 {
+		t.Fatalf("Monday 09:00 in March should be active, got %v", g.Activity(h))
+	}
+	// Same weekday/time in July: idle (holidays).
+	hj := simtime.Date(0, 6, st.DayOfMonth, 9)
+	stj := simtime.Decompose(hj)
+	for stj.DayOfWeek != 0 {
+		hj += 24
+		stj = simtime.Decompose(hj)
+	}
+	if g.Activity(hj) != 0 {
+		t.Fatalf("Monday 09:00 in July should be idle, got %v", g.Activity(hj))
+	}
+	// Tuesday: no publication.
+	if g.Activity(h+24) != 0 {
+		t.Fatalf("Tuesday should be idle, got %v", g.Activity(h+24))
+	}
+}
+
+func TestRealTracesAreLLMI(t *testing.T) {
+	for i := 1; i <= 5; i++ {
+		g := RealTrace(i)
+		tr := Generate(g, 0, simtime.HoursPerYear)
+		idle := tr.IdleFraction(0.01)
+		if idle < 0.5 {
+			t.Errorf("%s: idle fraction %.2f, want >= 0.5 (must be mostly idle)", g.Name, idle)
+		}
+		if tr.MeanActivity() <= 0 {
+			t.Errorf("%s: mean activity is zero, trace is empty", g.Name)
+		}
+		if tr.MeanActivity() > 0.25 {
+			t.Errorf("%s: mean activity %.2f too high for an LLMI trace", g.Name, tr.MeanActivity())
+		}
+	}
+}
+
+func TestRealTraceIndexPanics(t *testing.T) {
+	for _, i := range []int{0, 6, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RealTrace(%d) should panic", i)
+				}
+			}()
+			RealTrace(i)
+		}()
+	}
+}
+
+func TestLLMUAlwaysActive(t *testing.T) {
+	g := LLMU(1)
+	tr := Generate(g, 0, simtime.HoursPerYear)
+	if f := tr.IdleFraction(0.01); f != 0 {
+		t.Fatalf("LLMU idle fraction %v, want 0", f)
+	}
+	if m := tr.MeanActivity(); m < 0.5 {
+		t.Fatalf("LLMU mean activity %v, want >= 0.5", m)
+	}
+}
+
+func TestSLMULifetime(t *testing.T) {
+	g := SLMU(100, 5, 1.0)
+	if g.Activity(99) != 0 || g.Activity(100) != 1 || g.Activity(104) != 1 || g.Activity(105) != 0 {
+		t.Fatal("SLMU lifetime window wrong")
+	}
+}
+
+func TestSeasonalResultsOnlyJuly(t *testing.T) {
+	g := SeasonalResults()
+	peak := simtime.Date(2, 6, 19, 14) // July 20, 14:00, year 2
+	if g.Activity(peak) != 0.9 {
+		t.Fatalf("July 20 14:00 = %v, want 0.9", g.Activity(peak))
+	}
+	offSeason := simtime.Date(2, 5, 19, 14) // June 20
+	if g.Activity(offSeason) != 0 {
+		t.Fatalf("June 20 14:00 = %v, want 0", g.Activity(offSeason))
+	}
+	sum := 0.0
+	tr := Generate(g, 0, simtime.HoursPerYear)
+	for _, v := range tr.Levels {
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("seasonal trace is entirely empty")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(RealTrace(2), 0, 1000)
+	b := Generate(RealTrace(2), 0, 1000)
+	for i := range a.Levels {
+		if a.Levels[i] != b.Levels[i] {
+			t.Fatalf("trace not deterministic at hour %d: %v vs %v", i, a.Levels[i], b.Levels[i])
+		}
+	}
+}
+
+func TestJitterPreservesIdleness(t *testing.T) {
+	inner := HourWindow(2, 3, Const(0.5))
+	j := Jitter(7, 0.3, inner)
+	f := func(raw uint16) bool {
+		st := simtime.Decompose(simtime.Hour(raw))
+		v := j(st)
+		if inner(st) == 0 {
+			return v == 0
+		}
+		return v > 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHourWindowWrap(t *testing.T) {
+	f := HourWindow(22, 2, Const(1))
+	for hod, want := range map[int]float64{21: 0, 22: 1, 23: 1, 0: 1, 1: 1, 2: 0} {
+		st := simtime.Stamp{HourOfDay: hod}
+		if f(st) != want {
+			t.Errorf("wrap window at %02d:00 = %v, want %v", hod, f(st), want)
+		}
+	}
+}
+
+func TestSumClamps(t *testing.T) {
+	f := Sum(Const(0.7), Const(0.8))
+	if v := f(simtime.Stamp{}); v != 1 {
+		t.Fatalf("Sum clamp = %v, want 1", v)
+	}
+}
+
+func TestBellShape(t *testing.T) {
+	f := Bell(12, 3, 0.5)
+	peak := f(simtime.Stamp{HourOfDay: 12})
+	if math.Abs(peak-0.5) > 1e-9 {
+		t.Fatalf("bell peak = %v, want 0.5", peak)
+	}
+	if f(simtime.Stamp{HourOfDay: 16}) != 0 {
+		t.Fatal("bell should be zero outside half-width")
+	}
+	if f(simtime.Stamp{HourOfDay: 11}) <= f(simtime.Stamp{HourOfDay: 10}) {
+		t.Fatal("bell should decay away from the peak")
+	}
+	// Wrap-around: a peak at 23:00 covers 00:00.
+	w := Bell(23, 3, 0.5)
+	if w(simtime.Stamp{HourOfDay: 0}) == 0 {
+		t.Fatal("bell should wrap around midnight")
+	}
+}
+
+func TestTraceAtAndAccessors(t *testing.T) {
+	tr := Generate(DailyBackup(1), 48, 24)
+	if tr.Len() != 24 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.At(47) != 0 || tr.At(72) != 0 {
+		t.Fatal("out-of-range At should be 0")
+	}
+	if tr.At(50) != 1 { // hour 50 = day 2, 02:00
+		t.Fatalf("At(50) = %v, want 1", tr.At(50))
+	}
+	var empty Trace
+	if empty.MeanActivity() != 0 || empty.IdleFraction(0.1) != 0 {
+		t.Fatal("empty trace accessors should be 0")
+	}
+}
+
+func TestFigure1Set(t *testing.T) {
+	gens := Figure1()
+	if len(gens) != 2 {
+		t.Fatalf("Figure1 returns %d traces, want 2", len(gens))
+	}
+	for _, g := range gens {
+		tr := Generate(g, 0, 6*24)
+		if tr.MeanActivity() == 0 {
+			t.Errorf("%s: empty over six days", g.Name)
+		}
+		for _, v := range tr.Levels {
+			if v > 0.30 {
+				t.Errorf("%s: level %v exceeds the ~25%% ceiling of Figure 1", g.Name, v)
+			}
+		}
+	}
+}
+
+func TestTableIICount(t *testing.T) {
+	if got := len(TableII()); got != 8 {
+		t.Fatalf("TableII has %d generators, want 8", got)
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"testing"
+
+	"drowsydc/internal/simtime"
+)
+
+func TestShiftMovesPattern(t *testing.T) {
+	base := HourWindow(2, 3, Const(0.5))
+	shifted := Shift(3, base) // backup now at 05:00
+	for hod := 0; hod < 24; hod++ {
+		st := simtime.Decompose(simtime.Hour(7*24 + hod)) // use a later week
+		want := 0.0
+		if hod == 5 {
+			want = 0.5
+		}
+		if got := shifted(st); got != want {
+			t.Fatalf("shifted activity at %02d:00 = %v, want %v", hod, got, want)
+		}
+	}
+}
+
+func TestShiftEarlyHoursDefined(t *testing.T) {
+	// Hours before the shift amount must not panic and must stay in
+	// bounds (the shift wraps within the week).
+	shifted := Shift(100, RealTrace(1).Fn)
+	for h := simtime.Hour(0); h < 200; h++ {
+		v := shifted(simtime.Decompose(h))
+		if v < 0 || v > 1 {
+			t.Fatalf("out of bounds at hour %d: %v", h, v)
+		}
+	}
+}
+
+func TestVariantDiffersFromBase(t *testing.T) {
+	base := RealTrace(1)
+	v := Variant(base, 42, 6)
+	if v.Name == base.Name {
+		t.Fatal("variant should be renamed")
+	}
+	differ := false
+	for h := simtime.Hour(0); h < 7*24; h++ {
+		if v.Activity(h) != base.Activity(h) {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("variant identical to base over a week")
+	}
+	// Variant preserves the LLMI property.
+	tr := Generate(v, 0, simtime.HoursPerYear)
+	if tr.IdleFraction(0.01) < 0.5 {
+		t.Fatalf("variant idle fraction %v; shift/jitter must not destroy idleness", tr.IdleFraction(0.01))
+	}
+}
+
+func TestVariantZeroShiftKeepsStructure(t *testing.T) {
+	base := DailyBackup(0.5)
+	v := Variant(base, 7, 0)
+	// Jitter preserves zeros: idle hours identical.
+	for h := simtime.Hour(0); h < 7*24; h++ {
+		if base.Activity(h) == 0 && v.Activity(h) != 0 {
+			t.Fatalf("variant invented activity at hour %d", h)
+		}
+		if base.Activity(h) > 0 && v.Activity(h) == 0 {
+			t.Fatalf("variant erased activity at hour %d", h)
+		}
+	}
+}

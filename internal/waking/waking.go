@@ -1,0 +1,221 @@
+// Package waking implements Drowsy-DC's waking module (§V): the
+// component, colocated with the SDN switch of each rack, that resumes
+// drowsy servers. Two event types trigger a resume:
+//
+//  1. an inbound network request whose destination VM lives on a
+//     suspended server (detected by the switch's VM→MAC hashmap, §V-A);
+//  2. a scheduled waking date registered by the suspending module before
+//     the host went to sleep (§V-B), fired ahead of time by the resume
+//     latency so the host is awake when the timer expires.
+//
+// The module is the heart of the system and must not be a single point
+// of failure: modules work in pairs, each heartbeat-monitoring and
+// mirroring the other, and a survivor takes over a dead peer's mappings
+// (§V: "when a waking module is defective, it is replaced with an
+// identical version").
+package waking
+
+import (
+	"fmt"
+	"sort"
+
+	"drowsydc/internal/netsim"
+	"drowsydc/internal/sim"
+	"drowsydc/internal/simtime"
+)
+
+// Module is one waking module instance.
+type Module struct {
+	Name string
+
+	engine *sim.Engine
+	wol    func(netsim.MAC)
+	lead   simtime.Duration // wake this much ahead of the scheduled date
+
+	sw        *netsim.Switch
+	schedule  map[netsim.MAC]*sim.Timer
+	wakeDates map[netsim.MAC]simtime.Time
+	hostVMs   map[netsim.MAC][]netsim.VMID
+
+	lastBeat simtime.Time
+	failed   bool
+
+	peer       *Module
+	mirrorCopy *state // continuously mirrored copy of the peer's state
+
+	scheduledWakes uint64
+	packetWakes    uint64
+	takeovers      uint64
+}
+
+// state is the replicable part of a module: the suspended-host mappings
+// and their waking dates.
+type state struct {
+	hostVMs   map[netsim.MAC][]netsim.VMID
+	wakeDates map[netsim.MAC]simtime.Time
+}
+
+// New creates a waking module. wol delivers Wake-on-LAN to a host; lead
+// is the resume latency compensated when firing scheduled dates.
+func New(name string, engine *sim.Engine, lead simtime.Duration, wol func(netsim.MAC)) *Module {
+	if wol == nil {
+		panic("waking: nil WoL sender")
+	}
+	if lead < 0 {
+		panic("waking: negative lead")
+	}
+	m := &Module{
+		Name:      name,
+		engine:    engine,
+		wol:       wol,
+		lead:      lead,
+		schedule:  make(map[netsim.MAC]*sim.Timer),
+		wakeDates: make(map[netsim.MAC]simtime.Time),
+		hostVMs:   make(map[netsim.MAC][]netsim.VMID),
+	}
+	m.sw = netsim.NewSwitch(m.fireWoL)
+	return m
+}
+
+// Pair links two modules as mutual mirrors.
+func Pair(a, b *Module) {
+	a.peer, b.peer = b, a
+	a.mirrorCopy = b.snapshot()
+	b.mirrorCopy = a.snapshot()
+}
+
+// Switch exposes the module's packet path for the workload model.
+func (m *Module) Switch() *netsim.Switch { return m.sw }
+
+// HostSuspended registers a suspended host: its VMs' addresses map to
+// its MAC, and when the suspending module computed a waking date, a WoL
+// is scheduled lead seconds early. hasDate false means no valid timer
+// existed (§V-B): the host sleeps until an external request.
+func (m *Module) HostSuspended(mac netsim.MAC, vms []netsim.VMID, wakeAt simtime.Time, hasDate bool) {
+	m.sw.MapSuspended(mac, vms)
+	m.hostVMs[mac] = append([]netsim.VMID(nil), vms...)
+	if hasDate {
+		fireAt := wakeAt - simtime.Time(m.lead)
+		if fireAt < m.engine.Now() {
+			fireAt = m.engine.Now()
+		}
+		m.wakeDates[mac] = wakeAt
+		m.schedule[mac] = m.engine.Schedule(fireAt, func(*sim.Engine) {
+			m.scheduledWakes++
+			delete(m.schedule, mac)
+			delete(m.wakeDates, mac)
+			m.fireWoL(mac)
+		})
+	}
+	m.syncToPeer()
+}
+
+// HostResumed clears a host's mappings and pending schedule once it is
+// awake again.
+func (m *Module) HostResumed(mac netsim.MAC) {
+	m.sw.UnmapHost(mac)
+	delete(m.hostVMs, mac)
+	if t, ok := m.schedule[mac]; ok {
+		t.Cancel()
+		delete(m.schedule, mac)
+	}
+	delete(m.wakeDates, mac)
+	m.syncToPeer()
+}
+
+// PacketArrived runs the packet analyzer for one inbound request and
+// reports whether it woke a suspended host.
+func (m *Module) PacketArrived(p netsim.Packet) bool {
+	woke := m.sw.Route(p)
+	if woke {
+		m.packetWakes++
+	}
+	return woke
+}
+
+// fireWoL delivers the WoL and counts it.
+func (m *Module) fireWoL(mac netsim.MAC) { m.wol(mac) }
+
+// Heartbeat records liveness at the current engine time.
+func (m *Module) Heartbeat() { m.lastBeat = m.engine.Now() }
+
+// Fail marks the module dead for fault-injection tests; a failed module
+// stops heartbeating and processing.
+func (m *Module) Fail() { m.failed = true }
+
+// Failed reports whether the module was failed.
+func (m *Module) Failed() bool { return m.failed }
+
+// CheckPeer verifies the peer's heartbeat; when it is older than timeout
+// (or the peer is marked failed), the module takes over the mirrored
+// state: every suspended-host mapping and scheduled wake of the peer is
+// re-registered locally. It reports whether a takeover happened.
+func (m *Module) CheckPeer(timeout simtime.Duration) bool {
+	if m.peer == nil || m.failed {
+		return false
+	}
+	now := m.engine.Now()
+	if !m.peer.failed && now-m.peer.lastBeat <= simtime.Time(timeout) {
+		return false
+	}
+	// Peer is dead: adopt its mirrored mappings. Deterministic order so
+	// takeover is replayable.
+	if m.mirrorCopy != nil {
+		macs := make([]netsim.MAC, 0, len(m.mirrorCopy.hostVMs))
+		for mac := range m.mirrorCopy.hostVMs {
+			macs = append(macs, mac)
+		}
+		sort.Slice(macs, func(i, j int) bool { return macs[i] < macs[j] })
+		for _, mac := range macs {
+			if _, already := m.hostVMs[mac]; already {
+				continue
+			}
+			wakeAt, hasDate := m.mirrorCopy.wakeDates[mac]
+			m.HostSuspended(mac, m.mirrorCopy.hostVMs[mac], wakeAt, hasDate)
+		}
+	}
+	// Cancel the dead peer's pending timers so hosts are not woken twice.
+	for mac, t := range m.peer.schedule {
+		t.Cancel()
+		delete(m.peer.schedule, mac)
+	}
+	m.peer.failed = true
+	m.takeovers++
+	return true
+}
+
+// snapshot deep-copies the replicable state.
+func (m *Module) snapshot() *state {
+	s := &state{
+		hostVMs:   make(map[netsim.MAC][]netsim.VMID),
+		wakeDates: make(map[netsim.MAC]simtime.Time),
+	}
+	for mac, vms := range m.hostVMs {
+		s.hostVMs[mac] = append([]netsim.VMID(nil), vms...)
+	}
+	for mac, at := range m.wakeDates {
+		s.wakeDates[mac] = at
+	}
+	return s
+}
+
+// syncToPeer pushes a fresh snapshot to the peer's mirror buffer. In the
+// paper modules mirror each other over the network; here the copy is
+// synchronous and incorruptible, which is the property the fault
+// tolerance needs.
+func (m *Module) syncToPeer() {
+	if m.peer != nil && !m.peer.failed {
+		m.peer.mirrorCopy = m.snapshot()
+	}
+}
+
+// Stats returns (scheduled wakes fired, packet wakes fired, takeovers).
+func (m *Module) Stats() (scheduled, packet, takeovers uint64) {
+	return m.scheduledWakes, m.packetWakes, m.takeovers
+}
+
+// String renders a diagnostic summary.
+func (m *Module) String() string {
+	return fmt.Sprintf("waking[%s]{suspended=%d scheduled=%d failed=%v}",
+		m.Name, len(m.sw.SuspendedHosts()), len(m.schedule), m.failed)
+}

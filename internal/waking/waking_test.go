@@ -1,0 +1,181 @@
+package waking
+
+import (
+	"testing"
+
+	"drowsydc/internal/netsim"
+	"drowsydc/internal/sim"
+)
+
+func newTestModule(name string, e *sim.Engine, woken *[]netsim.MAC) *Module {
+	return New(name, e, 1 /* 1s lead */, func(m netsim.MAC) { *woken = append(*woken, m) })
+}
+
+func TestScheduledWakeFiresAheadOfTime(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	// Host 3 suspends at t=0, waking date t=100; lead is 1s → WoL at 99.
+	m.HostSuspended(3, []netsim.VMID{1}, 100, true)
+	e.RunUntil(98)
+	if len(woken) != 0 {
+		t.Fatal("woke too early")
+	}
+	e.RunUntil(99)
+	if len(woken) != 1 || woken[0] != 3 {
+		t.Fatalf("woken = %v at t=99", woken)
+	}
+	sched, pkt, _ := m.Stats()
+	if sched != 1 || pkt != 0 {
+		t.Fatalf("stats = %d %d", sched, pkt)
+	}
+}
+
+func TestPacketWake(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	m.HostSuspended(5, []netsim.VMID{42}, 0, false) // indefinite sleep
+	if !m.PacketArrived(netsim.Packet{Dst: 42}) {
+		t.Fatal("packet should wake host 5")
+	}
+	if len(woken) != 1 || woken[0] != 5 {
+		t.Fatalf("woken = %v", woken)
+	}
+	if m.PacketArrived(netsim.Packet{Dst: 77}) {
+		t.Fatal("packet to unmapped VM must not wake")
+	}
+}
+
+func TestHostResumedCancelsSchedule(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	m.HostSuspended(4, []netsim.VMID{9}, 50, true)
+	m.HostResumed(4) // e.g. woken early by a packet elsewhere
+	e.RunUntil(200)
+	if len(woken) != 0 {
+		t.Fatalf("canceled schedule still fired: %v", woken)
+	}
+	if m.PacketArrived(netsim.Packet{Dst: 9}) {
+		t.Fatal("resumed host should be unmapped")
+	}
+}
+
+func TestPastWakeDateFiresImmediately(t *testing.T) {
+	e := sim.New()
+	e.RunUntil(1000)
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	// Waking date minus lead is in the past: fire at now.
+	m.HostSuspended(1, []netsim.VMID{2}, 1000, true)
+	e.RunUntil(1001)
+	if len(woken) != 1 {
+		t.Fatal("imminent wake date should fire immediately")
+	}
+}
+
+func TestMirrorTakeover(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	a := newTestModule("rack0", e, &woken)
+	b := newTestModule("rack1", e, &woken)
+	Pair(a, b)
+	a.Heartbeat()
+	b.Heartbeat()
+	// b registers a suspended host with a scheduled wake at t=500.
+	b.HostSuspended(8, []netsim.VMID{80, 81}, 500, true)
+	// b dies at t=100.
+	e.RunUntil(100)
+	b.Fail()
+	// a detects the dead peer (timeout 30s since last beat at t=0).
+	if !a.CheckPeer(30) {
+		t.Fatal("takeover should trigger")
+	}
+	_, _, takeovers := a.Stats()
+	if takeovers != 1 {
+		t.Fatalf("takeovers = %d", takeovers)
+	}
+	// a now owns the mapping: a packet to VM 80 wakes host 8 via a.
+	if !a.PacketArrived(netsim.Packet{Dst: 80}) {
+		t.Fatal("survivor should hold the dead peer's mappings")
+	}
+	// The scheduled wake still happens exactly once (b's timer was
+	// canceled, a's re-registered one fires at 499).
+	woken = woken[:0]
+	e.RunUntil(600)
+	if len(woken) != 1 || woken[0] != 8 {
+		t.Fatalf("scheduled wake after takeover = %v", woken)
+	}
+}
+
+func TestCheckPeerHealthy(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	a := newTestModule("a", e, &woken)
+	b := newTestModule("b", e, &woken)
+	Pair(a, b)
+	b.Heartbeat()
+	e.RunUntil(10)
+	if a.CheckPeer(30) {
+		t.Fatal("healthy peer must not trigger takeover")
+	}
+	if a.CheckPeer(5) == false {
+		// beat at 0, now 10, timeout 5: dead.
+		t.Fatal("stale heartbeat should trigger takeover")
+	}
+}
+
+func TestCheckPeerNoPeer(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	a := newTestModule("a", e, &woken)
+	if a.CheckPeer(1) {
+		t.Fatal("no peer: no takeover")
+	}
+}
+
+func TestFailedModuleDoesNotTakeover(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	a := newTestModule("a", e, &woken)
+	b := newTestModule("b", e, &woken)
+	Pair(a, b)
+	a.Fail()
+	b.Fail()
+	if a.CheckPeer(0) {
+		t.Fatal("a failed module must not take over")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	e := sim.New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil wol should panic")
+			}
+		}()
+		New("x", e, 1, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative lead should panic")
+			}
+		}()
+		New("x", e, -1, func(netsim.MAC) {})
+	}()
+}
+
+func TestStringer(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+	if m.Failed() {
+		t.Fatal("fresh module should not be failed")
+	}
+}
