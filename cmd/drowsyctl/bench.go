@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"drowsydc/internal/exp"
+)
+
+// BenchResult is one benchmark row of the JSON report consumed by the
+// BENCH_*.json trajectory.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runBench executes the representative experiment benchmarks with the
+// standard testing harness and emits the results as JSON on stdout.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shrink the workloads (CI smoke mode)")
+	_ = fs.Parse(args)
+
+	scalingSize := 256
+	sweepCfg := exp.SimConfig{Hosts: 8, Slots: 4, Days: 14,
+		Fractions: []float64{0.5, 1.0}, RebalanceEvery: 6}
+	if *quick {
+		scalingSize = 64
+		sweepCfg.Days = 3
+		sweepCfg.Fractions = []float64{1.0}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"full-week-simulation", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if exp.RunTestbedPolicy("drowsy-full", 7, true, true).EnergyKWh <= 0 {
+					b.Fatal("no energy")
+				}
+			}
+		}},
+		{"simulation-sweep", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(exp.RunSimulation(sweepCfg)) == 0 {
+					b.Fatal("no points")
+				}
+			}
+		}},
+		{fmt.Sprintf("consolidation-scaling-%d", scalingSize), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if exp.RunScaling([]int{scalingSize})[0].DrowsyIPs == 0 {
+					b.Fatal("no evaluations")
+				}
+			}
+		}},
+	}
+
+	var out []BenchResult
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		out = append(out, BenchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "drowsyctl bench:", err)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@
 //	drowsyctl figure4 [-years N]   # idleness model quality (Fig. 4)
 //	drowsyctl simulation [...]     # DC-scale sweep (§VI-B, reconstructed)
 //	drowsyctl scaling              # O(n) vs O(n²) comparison (§VII)
+//	drowsyctl bench [-quick]       # benchmark results as JSON (BENCH_*.json)
 //	drowsyctl all                  # everything above
 package main
 
@@ -44,6 +45,8 @@ func main() {
 		runSimulation(args)
 	case "scaling":
 		runScaling(args)
+	case "bench":
+		runBench(args)
 	case "all":
 		runAll()
 	default:
@@ -55,7 +58,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: drowsyctl <command> [flags]
-commands: figure1 figure2 table1 energy figure3 table2 figure4 simulation scaling all`)
+commands: figure1 figure2 table1 energy figure3 table2 figure4 simulation scaling bench all`)
 }
 
 func runFigure1(args []string) {

@@ -204,7 +204,7 @@ func (s *Scenario) Run(p Policy) (*Report, error) {
 			return nil, fmt.Errorf("drowsydc: VM %q has invalid capacity", v.Name)
 		}
 		init := v.InitialHost
-		if init >= s.hosts {
+		if init >= s.hosts || init < -1 {
 			return nil, fmt.Errorf("drowsydc: VM %q pinned to host %d of %d", v.Name, init, s.hosts)
 		}
 		specs = append(specs, exp.VMSpec{

@@ -75,6 +75,11 @@ func TestScenarioValidation(t *testing.T) {
 	if _, err := s2.Run(PolicyNeat); err == nil {
 		t.Fatal("out-of-range pin should fail")
 	}
+	s4 := NewScenario(2, 16, 4, 2)
+	s4.AddVM(VM{Name: "v", MemGB: 4, VCPUs: 1, Workload: WorkloadDailyBackup(0.5), InitialHost: -7})
+	if _, err := s4.Run(PolicyNeat); err == nil {
+		t.Fatal("pin below -1 should fail")
+	}
 	s3 := NewScenario(1, 16, 4, 2)
 	s3.Days = 0
 	s3.AddVM(VM{Name: "v", MemGB: 4, VCPUs: 1, Workload: WorkloadDailyBackup(0.5), InitialHost: -1})

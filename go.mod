@@ -1,0 +1,3 @@
+module drowsydc
+
+go 1.24

@@ -61,6 +61,12 @@ type VM struct {
 
 	host       *Host
 	migrations int
+	// cache memoizes Gen's pure hourly levels: the runtime and the
+	// policies query the same (VM, hour) activity many times per
+	// simulated hour, and re-evaluating the generator closure chain
+	// dominated simulation CPU before memoization. Nil when caching is
+	// disabled (see SetCaching).
+	cache *trace.CachedGenerator
 }
 
 // NewVM constructs a VM with a fresh idleness model.
@@ -68,11 +74,29 @@ func NewVM(id int, name string, kind Kind, memGB, vcpus int, gen trace.Generator
 	if memGB <= 0 || vcpus <= 0 {
 		panic(fmt.Sprintf("cluster: VM %q with non-positive capacity", name))
 	}
-	return &VM{ID: id, Name: name, Kind: kind, MemGB: memGB, VCPUs: vcpus, Gen: gen, Model: core.New()}
+	return &VM{ID: id, Name: name, Kind: kind, MemGB: memGB, VCPUs: vcpus, Gen: gen,
+		Model: core.New(), cache: trace.Cached(gen)}
+}
+
+// SetCaching enables or disables activity memoization (enabled by
+// default). Generators are pure, so the cached and uncached paths
+// return bit-identical levels; disabling exists for the equivalence
+// tests and for callers that mutate Gen mid-run.
+func (v *VM) SetCaching(on bool) {
+	if !on {
+		v.cache = nil
+	} else if v.cache == nil {
+		v.cache = trace.Cached(v.Gen)
+	}
 }
 
 // Activity returns the VM's activity level for the given hour.
-func (v *VM) Activity(h simtime.Hour) float64 { return v.Gen.Activity(h) }
+func (v *VM) Activity(h simtime.Hour) float64 {
+	if v.cache != nil {
+		return v.cache.Activity(h)
+	}
+	return v.Gen.Activity(h)
+}
 
 // Host returns the VM's current host, or nil when unplaced.
 func (v *VM) Host() *Host { return v.host }

@@ -49,8 +49,14 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 		}
 	}
 	for mo := range m.SIy {
-		for d := range m.SIy[mo] {
-			for _, v := range m.SIy[mo][d] {
+		row := m.SIy[mo]
+		if row == nil {
+			// Unallocated month: all scores zero; the wire format stays
+			// identical to an eagerly allocated table.
+			row = &SIMonth{}
+		}
+		for d := range row {
+			for _, v := range row[d] {
 				writeF(v)
 			}
 		}
@@ -84,6 +90,9 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 	if version != codecVersion {
 		return fmt.Errorf("core: unsupported model version %d", version)
 	}
+	// The scores about to be decoded replace the current ones; drop any
+	// cached gathers derived from them.
+	m.ipCacheKey = [ipCacheSlots]int32{}
 	readF := func(dst *float64) error {
 		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
 			return fmt.Errorf("core: truncated model body: %w", err)
@@ -113,12 +122,23 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 		}
 	}
 	for mo := range m.SIy {
-		for d := range m.SIy[mo] {
-			for i := range m.SIy[mo][d] {
-				if err := readF(&m.SIy[mo][d][i]); err != nil {
+		var row SIMonth
+		zero := true
+		for d := range row {
+			for i := range row[d] {
+				if err := readF(&row[d][i]); err != nil {
 					return err
 				}
+				if row[d][i] != 0 {
+					zero = false
+				}
 			}
+		}
+		if zero {
+			m.SIy[mo] = nil // preserve laziness for untouched months
+		} else {
+			r := row
+			m.SIy[mo] = &r
 		}
 	}
 	for i := range m.W {

@@ -92,10 +92,14 @@ func (o Options) withDefaults() Options {
 // hour (§III-A), so no locking is needed.
 type Model struct {
 	// SI scores per calendar scale; all in [−1, 1], positive = idle.
+	// The year scale is by far the largest table (12×31×24 floats) while
+	// a typical simulation only ever observes a few months, so its month
+	// rows allocate lazily on first write — a nil row reads as all
+	// zeros, exactly the undetermined state a fresh array holds.
 	SId [simtime.HoursPerDay]float64
 	SIw [simtime.DaysPerWeek][simtime.HoursPerDay]float64
 	SIm [simtime.DaysPerMonth][simtime.HoursPerDay]float64
-	SIy [simtime.MonthsPerYear][simtime.DaysPerMonth][simtime.HoursPerDay]float64
+	SIy [simtime.MonthsPerYear]*SIMonth
 
 	// W holds the scale weights (w_d, w_w, w_m, w_y), kept on the
 	// probability simplex.
@@ -109,7 +113,37 @@ type Model struct {
 	hoursObserved int64
 	hoursIdle     int64
 
+	// ipCache memoizes the four-way SI gather of scores() for recently
+	// queried calendar hours — the hot operation of consolidation
+	// rounds, which read each VM's IP across a whole matching horizon
+	// every hour. Keys pack the four calendar coordinates the scores
+	// depend on (+1, so 0 marks an empty slot); the weighted dot
+	// product is always recomputed against the live weights, so cached
+	// IPs are bit-identical to uncached ones. Invalidation is by
+	// hour-of-day epoch: every SI cell an observation mutates carries
+	// the observed stamp's hour-of-day, so bumping that hour's epoch
+	// (and stamping entries with the epoch they were gathered under)
+	// retires every potentially stale entry in O(1).
+	ipCacheKey   [ipCacheSlots]int32
+	ipCacheEpoch [ipCacheSlots]uint32
+	ipCacheSI    [ipCacheSlots][NumScales]float64
+	hodEpoch     [simtime.HoursPerDay]uint32
+
 	opts Options
+}
+
+// SIMonth is one month row of the year-scale SI table.
+type SIMonth [simtime.DaysPerMonth][simtime.HoursPerDay]float64
+
+// ipCacheSlots is the scores-cache size: a power of two comfortably
+// above the 24-hour matching horizon of the consolidation policies.
+const ipCacheSlots = 64
+
+// ipCacheKeyOf packs the calendar coordinates scores() reads into a
+// non-zero key.
+func ipCacheKeyOf(st simtime.Stamp) int32 {
+	return int32(1 + st.HourOfDay + simtime.HoursPerDay*
+		(st.DayOfWeek+simtime.DaysPerWeek*(st.DayOfMonth+simtime.DaysPerMonth*st.Month)))
 }
 
 // New returns a fresh model: all SI scores zero (undetermined behaviour)
@@ -131,27 +165,47 @@ func (m *Model) Options() Options { return m.opts }
 // scores gathers the four SI values associated with a calendar hour, in
 // scale order (day, week, month, year).
 func (m *Model) scores(st simtime.Stamp) [NumScales]float64 {
+	y := 0.0
+	if row := m.SIy[st.Month]; row != nil {
+		y = row[st.DayOfMonth][st.HourOfDay]
+	}
 	return [NumScales]float64{
 		m.SId[st.HourOfDay],
 		m.SIw[st.DayOfWeek][st.HourOfDay],
 		m.SIm[st.DayOfMonth][st.HourOfDay],
-		m.SIy[st.Month][st.DayOfMonth][st.HourOfDay],
+		y,
 	}
 }
 
-// setScores writes back the four SI values for a calendar hour.
-func (m *Model) setScores(st simtime.Stamp, s [NumScales]float64) {
-	m.SId[st.HourOfDay] = s[ScaleDay]
-	m.SIw[st.DayOfWeek][st.HourOfDay] = s[ScaleWeek]
-	m.SIm[st.DayOfMonth][st.HourOfDay] = s[ScaleMonth]
-	m.SIy[st.Month][st.DayOfMonth][st.HourOfDay] = s[ScaleYear]
-}
 
 // IP computes the idleness probability wᵀ·SI ∈ [−1, 1] for the calendar
 // hour described by st (eq. 1). Positive values predict idleness.
 func (m *Model) IP(st simtime.Stamp) float64 {
 	s := m.scores(st)
 	return dot(m.W, s)
+}
+
+// IPProfileInto fills out[i] with IP(stamps[i]) for a whole matching
+// horizon in one call — the shape consolidation rounds use, where each
+// VM's IP is read for every hour of the next day. The SI gathers are
+// served from the scores cache (hot across consecutive rounds, whose
+// horizons overlap by all but one hour); the weighted dot product is
+// recomputed against the live weights, so results are bit-identical to
+// per-hour IP calls.
+func (m *Model) IPProfileInto(stamps []simtime.Stamp, out []float64) {
+	w := m.W
+	for i := range out {
+		st := &stamps[i]
+		key := ipCacheKeyOf(*st)
+		slot := key & (ipCacheSlots - 1)
+		epoch := m.hodEpoch[st.HourOfDay]
+		if m.ipCacheKey[slot] != key || m.ipCacheEpoch[slot] != epoch {
+			m.ipCacheSI[slot] = m.scores(*st)
+			m.ipCacheKey[slot] = key
+			m.ipCacheEpoch[slot] = epoch
+		}
+		out[i] = dot(w, m.ipCacheSI[slot])
+	}
 }
 
 // IPAt is shorthand for IP at an absolute hour.
@@ -218,7 +272,21 @@ func (m *Model) Observe(st simtime.Stamp, activity float64) {
 	aStar := Sigma * a // eq. 3
 
 	w0 := m.W
-	siOld := m.scores(st)
+	// Resolve the four SI cells once; the gather and the write-back
+	// share the index arithmetic (the year row is allocated up front —
+	// a fresh row reads as zero, like the lazy nil row).
+	row := m.SIy[st.Month]
+	if row == nil {
+		row = new(SIMonth)
+		m.SIy[st.Month] = row
+	}
+	cells := [NumScales]*float64{
+		&m.SId[st.HourOfDay],
+		&m.SIw[st.DayOfWeek][st.HourOfDay],
+		&m.SIm[st.DayOfMonth][st.HourOfDay],
+		&row[st.DayOfMonth][st.HourOfDay],
+	}
+	siOld := [NumScales]float64{*cells[0], *cells[1], *cells[2], *cells[3]}
 
 	siNew := siOld
 	for k := range siNew {
@@ -229,8 +297,11 @@ func (m *Model) Observe(st simtime.Stamp, activity float64) {
 			siNew[k] -= v
 		}
 		siNew[k] = clamp(siNew[k], -1, 1)
+		*cells[k] = siNew[k]
 	}
-	m.setScores(st, siNew)
+	// The mutated SI cells all carry this stamp's hour-of-day; retire
+	// every cached gather sharing it by bumping the hour's epoch.
+	m.hodEpoch[st.HourOfDay]++
 
 	m.learnWeights(w0, siOld, siNew)
 
@@ -313,6 +384,12 @@ func clamp(v, lo, hi float64) float64 {
 // waking-module mirroring and by experiments that branch scenarios.
 func (m *Model) Clone() *Model {
 	cp := *m
+	for mo, row := range m.SIy {
+		if row != nil {
+			r := *row
+			cp.SIy[mo] = &r
+		}
+	}
 	return &cp
 }
 

@@ -176,6 +176,11 @@ type Runner struct {
 	coloc       *metrics.Colocation
 	latency     *metrics.LatencyStats
 	wakeLatency *metrics.LatencyStats
+
+	// Reused per-round scratch (one simulation runs on one goroutine).
+	assignBuf []int
+	snapBuf   map[int]int
+	actBuf    []float64
 }
 
 // NewRunner builds a runner for a cluster whose VMs are already
@@ -344,9 +349,11 @@ func (r *Runner) Run() *Result {
 			r.playHour(r.rts[h.ID], hr, t0)
 		}
 
-		// Hour is over: feed the idleness models and the detectors.
+		// Hour is over: feed the idleness models and the detectors. The
+		// calendar stamp is shared across VMs (it only depends on hr).
+		st := hr.Stamp()
 		for _, v := range c.VMs() {
-			v.Observe(hr, v.Activity(hr))
+			v.Model.Observe(st, v.Activity(hr))
 		}
 		if rec, ok := r.policy.(hourRecorder); ok {
 			rec.RecordHour(c, hr)
@@ -364,9 +371,13 @@ func (r *Runner) Run() *Result {
 }
 
 // assignmentsAll maps every expected VM (initial + arrivals) to its
-// host ID, with -1 for unplaced or not-yet-created VMs.
+// host ID, with -1 for unplaced or not-yet-created VMs. The returned
+// slice is reused across rounds.
 func (r *Runner) assignmentsAll() []int {
-	out := make([]int, len(r.allVMs))
+	if cap(r.assignBuf) < len(r.allVMs) {
+		r.assignBuf = make([]int, len(r.allVMs))
+	}
+	out := r.assignBuf[:len(r.allVMs)]
 	for i, v := range r.allVMs {
 		if h := v.Host(); h != nil {
 			out[i] = h.ID
@@ -392,17 +403,21 @@ func (r *Runner) detach(v *cluster.VM, rt *hostRT) {
 	}
 }
 
-// snapshotPlacement records VM→host before a rebalance.
+// snapshotPlacement records VM→host before a rebalance. The returned
+// map is reused across rounds.
 func (r *Runner) snapshotPlacement() map[int]int {
-	m := make(map[int]int, len(r.cluster.VMs()))
+	if r.snapBuf == nil {
+		r.snapBuf = make(map[int]int, len(r.cluster.VMs()))
+	}
+	clear(r.snapBuf)
 	for _, v := range r.cluster.VMs() {
 		if v.Host() != nil {
-			m[v.ID] = v.Host().ID
+			r.snapBuf[v.ID] = v.Host().ID
 		} else {
-			m[v.ID] = -1
+			r.snapBuf[v.ID] = -1
 		}
 	}
-	return m
+	return r.snapBuf
 }
 
 // applyPlacementChanges moves VM processes between host OSes after a
@@ -461,16 +476,29 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 		return
 	}
 
-	// Activity profile of the hour: any VM above the noise floor pins
-	// the host awake for the whole hour.
-	busyHour := false
-	for _, v := range h.VMs() {
-		if v.Activity(hr) >= core.DefaultNoiseFloor {
-			busyHour = true
-			break
-		}
+	// Activity profile of the hour, read once per VM (several steps
+	// below consult this hour's levels): any VM above the noise floor
+	// pins the host awake for the whole hour. The utilization sum
+	// accumulates in h.VMs() order, exactly as Host.Utilization does.
+	vms := h.VMs()
+	if cap(r.actBuf) < len(vms) {
+		r.actBuf = make([]float64, len(vms))
 	}
-	util := h.Utilization(hr)
+	acts := r.actBuf[:len(vms)]
+	busyHour := false
+	demand := 0.0
+	for i, v := range vms {
+		a := v.Activity(hr)
+		acts[i] = a
+		if a >= core.DefaultNoiseFloor {
+			busyHour = true
+		}
+		demand += a * float64(v.VCPUs)
+	}
+	util := 0.0
+	if h.VCPUs != 0 {
+		util = demand / float64(h.VCPUs)
+	}
 	if util > 1 {
 		util = 1
 	}
@@ -493,13 +521,13 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 
 	state := rt.machine.State()
 	if busyHour {
+		first := firstActive(vms, acts)
 		// The host must be awake. A powered-off (empty → refilled) or
 		// suspended host that was not already resumed by a scheduled
 		// wake is woken by the first inbound request.
 		if state == power.StateSuspended || state == power.StateOff {
-			firstVM := r.firstActiveVM(h, hr)
-			if firstVM != nil && !firstVM.TimerDriven {
-				r.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(firstVM.ID)})
+			if first != nil && !first.TimerDriven {
+				r.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(first.ID)})
 			}
 			// The packet may have hit a stale mapping (the switch only
 			// updates VM→MAC on suspension) or the VM is timer-driven
@@ -508,7 +536,7 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 			if s := rt.machine.State(); s == power.StateSuspended || s == power.StateOff {
 				r.onWoL(netsim.MAC(h.ID))
 			}
-			rt.packetWoken = firstVM != nil && !firstVM.TimerDriven
+			rt.packetWoken = first != nil && !first.TimerDriven
 		}
 		// Active hour: utilization applies from the (possibly delayed)
 		// resume instant to the end of the hour.
@@ -517,18 +545,18 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 			wakeEnd = t0
 		}
 		rt.machine.SetUtilization(float64(wakeEnd), util)
-		for _, v := range h.VMs() {
-			a := v.Activity(hr)
+		for i, v := range vms {
+			a := acts[i]
 			pid := rt.procOf[v.ID]
 			if a > 0 {
 				rt.os.SetState(pid, ossim.StateRunning)
 				rt.os.AddQuanta(pid, int64(a*float64(rt.os.QuantaPerHour())))
 			}
 		}
-		r.recordRequests(rt, hr, t0)
+		r.recordRequests(rt, vms, acts, first)
 		hourEnd := hr.End()
 		rt.machine.SetUtilization(float64(hourEnd), 0)
-		for _, v := range h.VMs() {
+		for _, v := range vms {
 			rt.os.SetState(rt.procOf[v.ID], ossim.StateSleeping)
 		}
 		return
@@ -586,12 +614,12 @@ func (r *Runner) maybeSuspend(rt *hostRT, hr simtime.Hour, from simtime.Time) {
 	r.wm.HostSuspended(netsim.MAC(rt.host.ID), vms, d.WakeAt, d.HasWake)
 }
 
-// firstActiveVM picks the active VM whose request arrives first this
+// firstActive picks the active VM whose request arrives first this
 // hour (deterministically the lowest ID among the active ones).
-func (r *Runner) firstActiveVM(h *cluster.Host, hr simtime.Hour) *cluster.VM {
+func firstActive(vms []*cluster.VM, acts []float64) *cluster.VM {
 	var first *cluster.VM
-	for _, v := range h.VMs() {
-		if v.Activity(hr) <= 0 {
+	for i, v := range vms {
+		if acts[i] <= 0 {
 			continue
 		}
 		if first == nil || v.ID < first.ID {
@@ -604,7 +632,7 @@ func (r *Runner) firstActiveVM(h *cluster.Host, hr simtime.Hour) *cluster.VM {
 // recordRequests samples request latencies for the hour's active,
 // request-driven VMs. The first request of a packet-woken host pays the
 // resume latency.
-func (r *Runner) recordRequests(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
+func (r *Runner) recordRequests(rt *hostRT, vms []*cluster.VM, acts []float64, first *cluster.VM) {
 	wakePenalty := 0.0
 	if rt.packetWoken {
 		if r.cfg.NaiveResume {
@@ -613,9 +641,8 @@ func (r *Runner) recordRequests(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 			wakePenalty = r.cfg.Profile.ResumeLatency
 		}
 	}
-	first := r.firstActiveVM(rt.host, hr)
-	for _, v := range rt.host.VMs() {
-		a := v.Activity(hr)
+	for i, v := range vms {
+		a := acts[i]
 		if a <= 0 || v.TimerDriven {
 			continue
 		}
@@ -623,14 +650,15 @@ func (r *Runner) recordRequests(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 		if n < 1 {
 			n = 1
 		}
-		for q := 0; q < n; q++ {
-			lat := r.cfg.ServiceSeconds
-			if q == 0 && v == first && wakePenalty > 0 {
-				lat += wakePenalty
-				r.wakeLatency.Record(lat)
-			}
+		// All requests cost the base service time except the first one
+		// of the packet-woken VM, which pays the resume latency on top.
+		if v == first && wakePenalty > 0 {
+			lat := r.cfg.ServiceSeconds + wakePenalty
+			r.wakeLatency.Record(lat)
 			r.latency.Record(lat)
+			n--
 		}
+		r.latency.RecordN(r.cfg.ServiceSeconds, n)
 	}
 }
 

@@ -92,6 +92,28 @@ type Policy struct {
 	// oasis.PairEvaluations it supports the O(n) vs O(n²) comparison of
 	// §VII.
 	ipEvaluations uint64
+
+	// Round-scratch buffers reused across fullRelocate calls. A policy
+	// instance drives exactly one simulation (the parallel experiment
+	// driver constructs one per run), so reuse is safe and keeps the
+	// hourly rebalance allocation-free in steady state.
+	scratch struct {
+		stamps      [ProfileHours]simtime.Stamp
+		stampsHr    simtime.Hour
+		stampsValid bool
+		backing     [][ProfileHours]float64
+		cands       []relocCand
+		plan        []cluster.Assignment
+		planJ       []int32
+		curJ        []int32
+		state       []hostBuild
+		means       [][ProfileHours]float64
+		hostIdx     map[*cluster.Host]int
+		sums        [][ProfileHours]float64
+		counts      []int
+		costMeans   [][ProfileHours]float64
+		vmHost      []int32
+	}
 }
 
 // New creates a Drowsy-DC policy.
@@ -345,17 +367,19 @@ func (p *Policy) boundaryVMs(h *cluster.Host, hr simtime.Hour) []*cluster.VM {
 // factor).
 const ProfileHours = 24
 
-// vmProfile reads a VM's IP for each hour of the matching horizon.
-func (p *Policy) vmProfile(v *cluster.VM, hr simtime.Hour) [ProfileHours]float64 {
+// vmProfile reads a VM's IP for each hour of the matching horizon. The
+// calendar stamps are passed in: they depend only on the round's hour,
+// so fullRelocate decomposes them once and shares them across all VMs
+// instead of re-deriving them per (VM, hour).
+func (p *Policy) vmProfile(v *cluster.VM, stamps *[ProfileHours]simtime.Stamp) [ProfileHours]float64 {
 	var out [ProfileHours]float64
-	for k := range out {
-		out[k] = p.vmIP(v, hr+simtime.Hour(k))
-	}
+	v.Model.IPProfileInto(stamps[:], out[:])
+	p.ipEvaluations += ProfileHours
 	return out
 }
 
 // profileDist is the mean absolute difference of two IP profiles.
-func profileDist(a, b [ProfileHours]float64) float64 {
+func profileDist(a, b *[ProfileHours]float64) float64 {
 	s := 0.0
 	for k := range a {
 		s += math.Abs(a[k] - b[k])
@@ -378,52 +402,76 @@ func profileDist(a, b [ProfileHours]float64) float64 {
 // reports at most 3 migrations per VM over a week) while still allowing
 // early re-pairing of matching VMs.
 func (p *Policy) fullRelocate(c *cluster.Cluster, hr simtime.Hour) {
-	vms := append([]*cluster.VM(nil), c.VMs()...)
-	profiles := make(map[int][ProfileHours]float64, len(vms))
-	ips := make(map[int]float64, len(vms))
-	for _, v := range vms {
-		prof := p.vmProfile(v, hr)
-		profiles[v.ID] = prof
+	orig := c.VMs()
+	n := len(orig)
+	// The stamp window only depends on the round's hour; consecutive
+	// rounds share all but the last entry, so slide instead of
+	// re-decomposing (Decompose is deterministic — same values).
+	stamps := &p.scratch.stamps
+	if p.scratch.stampsValid && hr == p.scratch.stampsHr+1 {
+		copy(stamps[:ProfileHours-1], stamps[1:])
+		stamps[ProfileHours-1] = simtime.Decompose(hr + ProfileHours - 1)
+	} else {
+		for k := range stamps {
+			stamps[k] = simtime.Decompose(hr + simtime.Hour(k))
+		}
+	}
+	p.scratch.stampsHr = hr
+	p.scratch.stampsValid = true
+	// Profiles are computed in cluster VM order, so backing[i] belongs
+	// to c.VMs()[i] and alignmentCost can index it without a map.
+	if cap(p.scratch.backing) < n {
+		p.scratch.backing = make([][ProfileHours]float64, n)
+		p.scratch.cands = make([]relocCand, n)
+		p.scratch.curJ = make([]int32, n)
+		p.scratch.planJ = make([]int32, n)
+	}
+	backing := p.scratch.backing[:n]
+	cands := p.scratch.cands[:n]
+	for i, v := range orig {
+		backing[i] = p.vmProfile(v, stamps)
+		prof := &backing[i]
 		mean := 0.0
 		for _, x := range prof {
 			mean += x
 		}
-		ips[v.ID] = mean / ProfileHours
+		cands[i] = relocCand{vm: v, prof: prof, ip: mean / ProfileHours, origIdx: int32(i)}
 	}
-	sort.SliceStable(vms, func(i, j int) bool {
-		if vms[i].MemGB != vms[j].MemGB {
-			return vms[i].MemGB > vms[j].MemGB
+	// The ID tiebreak makes the order total, so an unstable sort yields
+	// the same permutation as a stable one.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].vm.MemGB != cands[j].vm.MemGB {
+			return cands[i].vm.MemGB > cands[j].vm.MemGB
 		}
-		if ips[vms[i].ID] != ips[vms[j].ID] {
-			return ips[vms[i].ID] < ips[vms[j].ID]
+		if cands[i].ip != cands[j].ip {
+			return cands[i].ip < cands[j].ip
 		}
-		return vms[i].ID < vms[j].ID
+		return cands[i].vm.ID < cands[j].vm.ID
 	})
 
 	// Build the assignment against virtual host loads. CPU demand is
 	// budgeted by Neat's overload threshold so the IP-driven packing
 	// never creates hot spots the classic criteria would veto; when the
-	// budget leaves a VM stranded, a relaxed pass ignores it.
-	type build struct {
-		mem, num int
-		cpu      float64 // vCPU-weighted demand at hr
-		profSum  [ProfileHours]float64
-		placed   int
-	}
+	// budget leaves a VM stranded, a relaxed pass ignores it. Each
+	// host's running mean profile is refreshed once per placement, so a
+	// pick pass reads it instead of re-deriving it per candidate host.
+	hosts := c.Hosts()
 	cpuBudget := p.opts.Neat.Options().OverloadThr
-	state := make(map[*cluster.Host]*build, len(c.Hosts()))
-	for _, h := range c.Hosts() {
-		state[h] = &build{}
+	state, means := p.buildState(len(hosts))
+	plan := p.scratch.plan[:0]
+	planJ := p.scratch.planJ[:n]
+	for i := range planJ {
+		planJ[i] = -1
 	}
-	plan := make([]cluster.Assignment, 0, len(vms))
-	for _, v := range vms {
-		vprof := profiles[v.ID]
+	for ci := range cands {
+		v := cands[ci].vm
+		vprof := cands[ci].prof
 		demand := v.Activity(hr) * float64(v.VCPUs)
-		pick := func(relaxed bool) *cluster.Host {
-			var best *cluster.Host
+		pick := func(relaxed bool) int {
+			best := -1
 			bestScore := math.Inf(1)
-			for _, h := range c.Hosts() {
-				b := state[h]
+			for hi, h := range hosts {
+				b := &state[hi]
 				if h.MaxVMs > 0 && b.num+1 > h.MaxVMs {
 					continue
 				}
@@ -433,34 +481,47 @@ func (p *Policy) fullRelocate(c *cluster.Cluster, hr simtime.Hour) {
 				if !relaxed && (b.cpu+demand)/float64(h.VCPUs) > cpuBudget {
 					continue
 				}
-				var hprof [ProfileHours]float64 // empty: undetermined
-				if b.placed > 0 {
-					for k := range hprof {
-						hprof[k] = b.profSum[k] / float64(b.placed)
-					}
-				}
-				score := profileDist(hprof, vprof)
-				// Resolve near-ties toward the current host so a
+				// Near-ties resolve toward the current host so a
 				// converged pair does not ping-pong between identical
 				// empty servers.
+				eps := 0.0
 				if h == v.Host() {
-					score -= tieEpsilon
+					eps = tieEpsilon
 				}
+				// Distance with exact early exit: the partial score
+				// s/ProfileHours − eps is monotone in the partial sum,
+				// so once it reaches bestScore this host cannot win and
+				// the rest of the scan is skipped. Winners always run
+				// the full sum, so the selected score is unchanged.
+				hm := &means[hi]
+				s := 0.0
+				beaten := false
+				for k := 0; k < ProfileHours; k++ {
+					s += math.Abs(hm[k] - vprof[k])
+					if k&7 == 7 && s/ProfileHours-eps >= bestScore {
+						beaten = true
+						break
+					}
+				}
+				if beaten {
+					continue
+				}
+				score := s/ProfileHours - eps
 				if score < bestScore {
 					bestScore = score
-					best = h
+					best = hi
 				}
 			}
 			return best
 		}
-		best := pick(false)
-		if best == nil {
-			best = pick(true)
+		hi := pick(false)
+		if hi < 0 {
+			hi = pick(true)
 		}
-		if best == nil {
+		if hi < 0 {
 			continue // nowhere to put this VM; leave it where it is
 		}
-		b := state[best]
+		b := &state[hi]
 		b.mem += v.MemGB
 		b.num++
 		b.cpu += demand
@@ -468,16 +529,19 @@ func (p *Policy) fullRelocate(c *cluster.Cluster, hr simtime.Hour) {
 			b.profSum[k] += vprof[k]
 		}
 		b.placed++
-		plan = append(plan, cluster.Assignment{VM: v, Host: best})
+		for k := range means[hi] {
+			means[hi][k] = b.profSum[k] / float64(b.placed)
+		}
+		planJ[cands[ci].origIdx] = int32(hi)
+		plan = append(plan, cluster.Assignment{VM: v, Host: hosts[hi]})
 	}
+	p.scratch.plan = plan
 
 	// Plan-level hysteresis: apply only when the alignment gain pays
 	// for the migrations. Unplaced VMs force application.
 	moves := 0
 	forced := false
-	planHost := make(map[int]*cluster.Host, len(plan))
 	for _, a := range plan {
-		planHost[a.VM.ID] = a.Host
 		if a.VM.Host() == nil {
 			forced = true
 		} else if a.VM.Host() != a.Host {
@@ -488,8 +552,24 @@ func (p *Policy) fullRelocate(c *cluster.Cluster, hr simtime.Hour) {
 		return
 	}
 	if !forced {
-		curCost := alignmentCost(c, profiles, nil)
-		planCost := alignmentCost(c, profiles, planHost)
+		if p.scratch.hostIdx == nil {
+			p.scratch.hostIdx = make(map[*cluster.Host]int, len(hosts))
+		}
+		hostIdx := p.scratch.hostIdx
+		clear(hostIdx)
+		for i, h := range hosts {
+			hostIdx[h] = i
+		}
+		curJ := p.scratch.curJ[:n]
+		for i, v := range orig {
+			if h := v.Host(); h != nil {
+				curJ[i] = int32(hostIdx[h])
+			} else {
+				curJ[i] = -1
+			}
+		}
+		curCost := p.alignmentCost(backing, curJ, nil, len(hosts))
+		planCost := p.alignmentCost(backing, curJ, planJ, len(hosts))
 		if curCost-planCost <= float64(moves)*p.opts.StickyTolerance {
 			return // not enough improvement to justify the churn
 		}
@@ -497,50 +577,98 @@ func (p *Policy) fullRelocate(c *cluster.Cluster, hr simtime.Hour) {
 	_ = c.ApplyAssignments(plan)
 }
 
+// relocCand pairs a VM with its round profile for the placement sort.
+type relocCand struct {
+	vm      *cluster.VM
+	prof    *[ProfileHours]float64
+	ip      float64 // mean of prof, the secondary sort key
+	origIdx int32   // position in c.VMs() order
+}
+
+// hostBuild tracks the virtual load of one host while a fresh
+// assignment is built.
+type hostBuild struct {
+	mem, num int
+	cpu      float64 // vCPU-weighted demand at hr
+	profSum  [ProfileHours]float64
+	placed   int
+}
+
+// buildState returns the per-host virtual-load trackers and running
+// mean profiles (zero = undetermined), reset for a new round; the
+// slices are reused across rounds.
+func (p *Policy) buildState(nh int) ([]hostBuild, [][ProfileHours]float64) {
+	if cap(p.scratch.state) < nh {
+		p.scratch.state = make([]hostBuild, nh)
+		p.scratch.means = make([][ProfileHours]float64, nh)
+	}
+	state := p.scratch.state[:nh]
+	means := p.scratch.means[:nh]
+	for i := range state {
+		state[i] = hostBuild{}
+		means[i] = [ProfileHours]float64{}
+	}
+	return state, means
+}
+
 // alignmentCost measures how misaligned VM idleness is with host
 // companions: Σ_v profileDist(profile(v), mean profile of v's host's
-// VMs). assign overrides hosts when non-nil (the hypothetical plan);
-// otherwise current hosts are used.
-func alignmentCost(c *cluster.Cluster, profiles map[int][ProfileHours]float64, assign map[int]*cluster.Host) float64 {
-	groupSum := make(map[*cluster.Host]*[ProfileHours]float64)
-	groupN := make(map[*cluster.Host]int)
-	hostOf := func(v *cluster.VM) *cluster.Host {
-		if assign != nil {
-			if h, ok := assign[v.ID]; ok {
-				return h
-			}
-		}
-		return v.Host()
+// VMs). profiles and curJ are indexed in c.VMs() order; curJ holds
+// each VM's current host index (−1 unplaced). planJ, when non-nil,
+// overrides the grouping with the hypothetical plan (−1 = keep the
+// current host). Group sums accumulate in reused scratch slices
+// indexed by host, and each host's mean is derived once — the same
+// expression the per-VM derivation evaluated, so every distance term
+// is bit-identical to the naive form.
+func (p *Policy) alignmentCost(profiles [][ProfileHours]float64, curJ, planJ []int32, nh int) float64 {
+	n := len(curJ)
+	if cap(p.scratch.sums) < nh {
+		p.scratch.sums = make([][ProfileHours]float64, nh)
+		p.scratch.counts = make([]int, nh)
+		p.scratch.costMeans = make([][ProfileHours]float64, nh)
 	}
-	for _, v := range c.VMs() {
-		h := hostOf(v)
-		if h == nil {
+	if cap(p.scratch.vmHost) < n {
+		p.scratch.vmHost = make([]int32, n)
+	}
+	sums := p.scratch.sums[:nh]
+	counts := p.scratch.counts[:nh]
+	costMeans := p.scratch.costMeans[:nh]
+	vmHost := p.scratch.vmHost[:n]
+	for i := range sums {
+		sums[i] = [ProfileHours]float64{}
+		counts[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		j := curJ[i]
+		if planJ != nil && planJ[i] >= 0 {
+			j = planJ[i]
+		}
+		vmHost[i] = j
+		if j < 0 {
 			continue
 		}
-		sum := groupSum[h]
-		if sum == nil {
-			sum = &[ProfileHours]float64{}
-			groupSum[h] = sum
+		for k := range profiles[i] {
+			sums[j][k] += profiles[i][k]
 		}
-		prof := profiles[v.ID]
-		for k := range prof {
-			sum[k] += prof[k]
+		counts[j]++
+	}
+	// Host means, derived once per host.
+	for j := range costMeans {
+		if counts[j] == 0 {
+			continue
 		}
-		groupN[h]++
+		nj := float64(counts[j])
+		for k := range costMeans[j] {
+			costMeans[j][k] = sums[j][k] / nj
+		}
 	}
 	cost := 0.0
-	for _, v := range c.VMs() {
-		h := hostOf(v)
-		if h == nil {
+	for i := 0; i < n; i++ {
+		j := vmHost[i]
+		if j < 0 {
 			continue
 		}
-		var mean [ProfileHours]float64
-		sum := groupSum[h]
-		n := float64(groupN[h])
-		for k := range mean {
-			mean[k] = sum[k] / n
-		}
-		cost += profileDist(profiles[v.ID], mean)
+		cost += profileDist(&profiles[i], &costMeans[j])
 	}
 	return cost
 }

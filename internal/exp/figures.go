@@ -67,17 +67,31 @@ type TestbedResult struct {
 	NeatVanilla *dcsim.Result
 }
 
-// RunTestbed runs all three configurations of the §VI-A experiment.
-func RunTestbed(days int) *TestbedResult {
+// RunTestbed runs all three configurations of the §VI-A experiment,
+// concurrently (each on its own cluster). Use RunTestbedWorkers(days,
+// 1) for a serial run (identical results; only scheduling differs).
+func RunTestbed(days int) *TestbedResult { return RunTestbedWorkers(days, 0) }
+
+// RunTestbedWorkers is RunTestbed with an explicit worker bound
+// (0 = GOMAXPROCS, 1 = serial).
+func RunTestbedWorkers(days, workers int) *TestbedResult {
 	specs := TestbedSpecs()
 	res := &TestbedResult{Days: days}
 	for _, s := range specs {
 		res.VMNames = append(res.VMNames, s.Name)
 	}
 	res.HostNames = []string{"P2", "P3", "P4", "P5"}
-	res.Drowsy = RunTestbedPolicy("drowsy-full", days, true, true)
-	res.NeatS3 = RunTestbedPolicy("neat", days, true, false)
-	res.NeatVanilla = RunTestbedPolicy("neat", days, false, false)
+	runs := parMap(workers, 3, func(i int) *dcsim.Result {
+		switch i {
+		case 0:
+			return RunTestbedPolicy("drowsy-full", days, true, true)
+		case 1:
+			return RunTestbedPolicy("neat", days, true, false)
+		default:
+			return RunTestbedPolicy("neat", days, false, false)
+		}
+	})
+	res.Drowsy, res.NeatS3, res.NeatVanilla = runs[0], runs[1], runs[2]
 	return res
 }
 
@@ -147,9 +161,14 @@ type Figure4Trace struct {
 // given number of years and evaluates the four Table III metrics
 // weekly: each hour the model first predicts (IP for the coming hour),
 // then observes the truth.
-func RunFigure4(years int) []Figure4Trace {
-	var out []Figure4Trace
-	for _, g := range trace.TableII() {
+func RunFigure4(years int) []Figure4Trace { return RunFigure4Workers(years, 0) }
+
+// RunFigure4Workers is RunFigure4 with an explicit worker bound
+// (0 = GOMAXPROCS, 1 = serial).
+func RunFigure4Workers(years, workers int) []Figure4Trace {
+	gens := trace.TableII()
+	return parMap(workers, len(gens), func(i int) Figure4Trace {
+		g := gens[i]
 		m := core.New()
 		win := metrics.NewWindowed(7 * 24)
 		hours := simtime.Hour(years * simtime.HoursPerYear)
@@ -161,9 +180,8 @@ func RunFigure4(years int) []Figure4Trace {
 			win.Add(int64(h), predIdle, actIdle)
 			m.Observe(st, a)
 		}
-		out = append(out, Figure4Trace{Name: g.Name, Points: win.Points(), Final: win.Final()})
-	}
-	return out
+		return Figure4Trace{Name: g.Name, Points: win.Points(), Final: win.Final()}
+	})
 }
 
 // RenderFigure4 prints a quarterly summary of each trace's metrics.

@@ -23,6 +23,11 @@ type SimConfig struct {
 	Fractions []float64 // LLMI fractions to sweep
 	// RebalanceEvery trades fidelity for speed on the O(n²) baseline.
 	RebalanceEvery int
+	// Workers bounds the number of concurrently executed grid cells;
+	// 0 selects runtime.GOMAXPROCS(0), 1 runs the sweep serially. Every
+	// cell is an independent deterministic run, so the results are
+	// identical at any worker count.
+	Workers int
 }
 
 // DefaultSimConfig mirrors a small CloudSim-style datacenter: the sweep
@@ -89,31 +94,43 @@ func population(n int, llmiFrac float64) []VMSpec {
 }
 
 // RunSimulation executes the LLMI-fraction sweep under the four
-// configurations.
+// configurations. The (fraction × configuration) grid cells are
+// independent deterministic runs, fanned out over cfg.Workers.
 func RunSimulation(cfg SimConfig) []SimPoint {
-	var out []SimPoint
 	nVMs := cfg.Hosts * cfg.Slots * 3 / 4 // 75% occupancy: consolidation has room
-	for _, frac := range cfg.Fractions {
-		run := func(policy cluster.Policy, suspendOn, grace bool) *dcsim.Result {
-			c := BuildCluster(cfg.Hosts, 4*cfg.Slots, 2*cfg.Slots, cfg.Slots, population(nVMs, frac))
-			return dcsim.NewRunner(dcsim.Config{
-				Hours:           cfg.Days * 24,
-				EnableSuspend:   suspendOn,
-				UseGrace:        grace,
-				RebalanceEvery:  cfg.RebalanceEvery,
-				RequestsPerHour: 50,
-			}, c, policy).Run()
+	const cellsPerFrac = 4                // drowsy, neat+S3, vanilla neat, oasis
+	results := parMap(cfg.Workers, len(cfg.Fractions)*cellsPerFrac, func(i int) *dcsim.Result {
+		frac := cfg.Fractions[i/cellsPerFrac]
+		var policy cluster.Policy
+		var suspendOn, grace bool
+		switch i % cellsPerFrac {
+		case 0:
+			policy, suspendOn, grace = drowsy.New(drowsy.Options{FullRelocation: true}), true, true
+		case 1:
+			policy, suspendOn = NewPolicy("neat"), true
+		case 2:
+			policy = NewPolicy("neat")
+		case 3:
+			policy, suspendOn = oasis.New(oasis.Options{Window: 72}), true
 		}
-		drowsyRes := run(drowsy.New(drowsy.Options{FullRelocation: true}), true, true)
-		neatS3 := run(NewPolicy("neat"), true, false)
-		neatVan := run(NewPolicy("neat"), false, false)
-		oasisRes := run(oasis.New(oasis.Options{Window: 72}), true, false)
+		c := BuildCluster(cfg.Hosts, 4*cfg.Slots, 2*cfg.Slots, cfg.Slots, population(nVMs, frac))
+		return dcsim.NewRunner(dcsim.Config{
+			Hours:           cfg.Days * 24,
+			EnableSuspend:   suspendOn,
+			UseGrace:        grace,
+			RebalanceEvery:  cfg.RebalanceEvery,
+			RequestsPerHour: 50,
+		}, c, policy).Run()
+	})
+	var out []SimPoint
+	for fi, frac := range cfg.Fractions {
+		cell := results[fi*cellsPerFrac : (fi+1)*cellsPerFrac]
 		p := SimPoint{
 			LLMIFraction: frac,
-			DrowsyKWh:    drowsyRes.EnergyKWh,
-			NeatS3KWh:    neatS3.EnergyKWh,
-			NeatKWh:      neatVan.EnergyKWh,
-			OasisKWh:     oasisRes.EnergyKWh,
+			DrowsyKWh:    cell[0].EnergyKWh,
+			NeatS3KWh:    cell[1].EnergyKWh,
+			NeatKWh:      cell[2].EnergyKWh,
+			OasisKWh:     cell[3].EnergyKWh,
 		}
 		p.ImprovVsNeat = 100 * (1 - p.DrowsyKWh/p.NeatKWh)
 		p.ImprovVsNeatS3 = 100 * (1 - p.DrowsyKWh/p.NeatS3KWh)
@@ -146,25 +163,35 @@ type ScalePoint struct {
 	OasisPairs uint64 // pair evaluations per rebalance
 }
 
-// RunScaling measures one rebalance round at each population size.
-func RunScaling(sizes []int) []ScalePoint {
-	var out []ScalePoint
-	for _, n := range sizes {
+// RunScaling measures one rebalance round at each population size. The
+// two policies at each size are independent runs on disjoint clusters,
+// so the whole (size × policy) grid executes on the worker pool. The
+// reported evaluation counts are exact and scheduling-independent;
+// wall-clock measurements that must not overlap cells should use
+// RunScalingWorkers with workers = 1.
+func RunScaling(sizes []int) []ScalePoint { return RunScalingWorkers(sizes, 0) }
+
+// RunScalingWorkers is RunScaling with an explicit worker bound
+// (0 = GOMAXPROCS, 1 = serial).
+func RunScalingWorkers(sizes []int, workers int) []ScalePoint {
+	evals := parMap(workers, len(sizes)*2, func(i int) uint64 {
+		n := sizes[i/2]
 		hosts := (n + 3) / 4
-		specs := population(n, 1.0)
-		cd := BuildCluster(hosts, 16, 8, 4, specs)
-		dp := drowsy.New(drowsy.Options{FullRelocation: true})
-		seedPlacement(cd)
-		trainHours(cd, 24)
-		dp.Rebalance(cd, 25)
-
-		co := BuildCluster(hosts, 16, 8, 4, specs)
+		c := BuildCluster(hosts, 16, 8, 4, population(n, 1.0))
+		seedPlacement(c)
+		trainHours(c, 24)
+		if i%2 == 0 {
+			dp := drowsy.New(drowsy.Options{FullRelocation: true})
+			dp.Rebalance(c, 25)
+			return dp.IPEvaluations()
+		}
 		op := oasis.New(oasis.Options{Window: 24})
-		seedPlacement(co)
-		trainHours(co, 24)
-		op.Rebalance(co, 25)
-
-		out = append(out, ScalePoint{VMs: n, DrowsyIPs: dp.IPEvaluations(), OasisPairs: op.PairEvaluations()})
+		op.Rebalance(c, 25)
+		return op.PairEvaluations()
+	})
+	var out []ScalePoint
+	for i, n := range sizes {
+		out = append(out, ScalePoint{VMs: n, DrowsyIPs: evals[2*i], OasisPairs: evals[2*i+1]})
 	}
 	return out
 }

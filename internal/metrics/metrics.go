@@ -200,16 +200,18 @@ func (c *Colocation) RecordHour(hosts []int) {
 		panic(fmt.Sprintf("metrics: got %d host assignments, want %d", len(hosts), c.n))
 	}
 	for i := 0; i < c.n; i++ {
-		if hosts[i] < 0 {
+		hi := hosts[i]
+		if hi < 0 {
 			continue
 		}
-		if c.last[i] >= 0 && hosts[i] != c.last[i] {
+		if c.last[i] >= 0 && hi != c.last[i] {
 			c.migrations[i]++
 		}
-		c.last[i] = hosts[i]
+		c.last[i] = hi
+		row := c.together[i]
 		for j := 0; j < c.n; j++ {
-			if hosts[i] == hosts[j] {
-				c.together[i][j]++
+			if hi == hosts[j] {
+				row[j]++
 			}
 		}
 	}
@@ -238,9 +240,18 @@ func (c *Colocation) N() int { return c.n }
 // Request latency / SLA (§VI-A-3)
 
 // LatencyStats aggregates request response times against an SLA target.
+//
+// The simulated request population is highly degenerate: every request
+// of an hour shares the base service time except the wake-delayed first
+// one, so the stats store the multiset run-length encoded (distinct
+// value → occurrence count) instead of keeping a per-request slice.
+// Count, SLAFraction, Max and Quantile are exact — identical to what a
+// flat sample slice would report — while memory stays proportional to
+// the handful of distinct latencies rather than to request volume.
 type LatencyStats struct {
 	slaSeconds float64
-	samples    []float64
+	counts     map[float64]int64
+	total      int64
 	withinSLA  int64
 	max        float64
 }
@@ -248,17 +259,27 @@ type LatencyStats struct {
 // NewLatencyStats creates a collector with the given SLA target in
 // seconds (the paper's CloudSuite web-search SLA is 200 ms).
 func NewLatencyStats(slaSeconds float64) *LatencyStats {
-	return &LatencyStats{slaSeconds: slaSeconds}
+	return &LatencyStats{slaSeconds: slaSeconds, counts: make(map[float64]int64)}
 }
 
 // Record adds one request's response time in seconds.
-func (l *LatencyStats) Record(seconds float64) {
+func (l *LatencyStats) Record(seconds float64) { l.RecordN(seconds, 1) }
+
+// RecordN adds n requests with the same response time — the common
+// shape of an active hour, where every request after the wake-delayed
+// first one costs the base service time. Identical to n Record calls
+// (all aggregates are order-independent).
+func (l *LatencyStats) RecordN(seconds float64, n int) {
+	if n <= 0 {
+		return
+	}
 	if seconds < 0 || math.IsNaN(seconds) {
 		panic(fmt.Sprintf("metrics: invalid latency %v", seconds))
 	}
-	l.samples = append(l.samples, seconds)
+	l.counts[seconds] += int64(n)
+	l.total += int64(n)
 	if seconds <= l.slaSeconds {
-		l.withinSLA++
+		l.withinSLA += int64(n)
 	}
 	if seconds > l.max {
 		l.max = seconds
@@ -266,27 +287,39 @@ func (l *LatencyStats) Record(seconds float64) {
 }
 
 // Count returns the number of recorded requests.
-func (l *LatencyStats) Count() int64 { return int64(len(l.samples)) }
+func (l *LatencyStats) Count() int64 { return l.total }
 
 // SLAFraction returns the fraction of requests meeting the SLA target.
 func (l *LatencyStats) SLAFraction() float64 {
-	if len(l.samples) == 0 {
+	if l.total == 0 {
 		return 1
 	}
-	return float64(l.withinSLA) / float64(len(l.samples))
+	return float64(l.withinSLA) / float64(l.total)
 }
 
 // Max returns the worst response time seen.
 func (l *LatencyStats) Max() float64 { return l.max }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of recorded latencies,
-// or 0 with no samples.
+// or 0 with no samples: the value at rank ⌊q·(n−1)⌋ of the sorted
+// multiset, exactly as if every request were an element of a sorted
+// slice.
 func (l *LatencyStats) Quantile(q float64) float64 {
-	if len(l.samples) == 0 {
+	if l.total == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), l.samples...)
-	sort.Float64s(sorted)
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	values := make([]float64, 0, len(l.counts))
+	for v := range l.counts {
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	rank := int64(q * float64(l.total-1))
+	var cum int64
+	for _, v := range values {
+		cum += l.counts[v]
+		if rank < cum {
+			return v
+		}
+	}
+	return values[len(values)-1]
 }

@@ -406,11 +406,14 @@ func (p *Policy) PlaceNew(c *cluster.Cluster, v *cluster.VM, hr simtime.Hour) (*
 // simulation runtime calls it at each hour boundary.
 func (p *Policy) RecordHour(c *cluster.Cluster, hr simtime.Hour) {
 	for _, h := range c.Hosts() {
-		hist := append(p.history[h.ID], h.Utilization(hr))
-		if len(hist) > HistoryLen {
-			hist = hist[len(hist)-HistoryLen:]
+		hist := p.history[h.ID]
+		if len(hist) >= HistoryLen {
+			// Shift in place: reslicing the tail would strand capacity
+			// and force a reallocation on every subsequent append.
+			copy(hist, hist[len(hist)-HistoryLen+1:])
+			hist = hist[:HistoryLen-1]
 		}
-		p.history[h.ID] = hist
+		p.history[h.ID] = append(hist, h.Utilization(hr))
 	}
 }
 

@@ -18,6 +18,7 @@ package oasis
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"drowsydc/internal/cluster"
@@ -116,6 +117,47 @@ func (p *Policy) PlaceNew(c *cluster.Cluster, v *cluster.VM, hr simtime.Hour) (*
 	return best, nil
 }
 
+// idleSets builds one idle bitset per VM over the trailing window
+// ending at hr: bit k of vm i's set is on when vms[i] was idle during
+// hour start+k. A pair's overlap score is then a popcount of the ANDed
+// sets — the same integer count the hour-by-hour walk of idleOverlap
+// produces, at 1/64th of the memory traffic. This keeps the policy's
+// O(n²) pair structure (the property §VII measures) while removing the
+// redundant per-pair window re-walks that dominated rebalance CPU.
+func (p *Policy) idleSets(vms []*cluster.VM, hr simtime.Hour) (sets [][]uint64, window int) {
+	start := hr - simtime.Hour(p.opts.Window)
+	if start < 0 {
+		start = 0
+	}
+	window = int(hr - start)
+	words := (window + 63) / 64
+	sets = make([][]uint64, len(vms))
+	for i, v := range vms {
+		bs := make([]uint64, words)
+		for k := 0; k < window; k++ {
+			if v.Activity(start+simtime.Hour(k)) < p.opts.IdleThreshold {
+				bs[k>>6] |= 1 << (k & 63)
+			}
+		}
+		sets[i] = bs
+	}
+	return sets, window
+}
+
+// overlapFromSets scores one pair from precomputed idle bitsets,
+// counting the evaluation exactly as idleOverlap does.
+func (p *Policy) overlapFromSets(sets [][]uint64, window, i, j int) float64 {
+	if window == 0 {
+		return 0
+	}
+	both := 0
+	for w, x := range sets[i] {
+		both += bits.OnesCount64(x & sets[j][w])
+	}
+	p.pairs++
+	return float64(both) / float64(window)
+}
+
 // Rebalance implements cluster.Policy: an O(n²) greedy pairing pass.
 // All VM pairs are scored by idle overlap; the best disjoint pairs are
 // then colocated, each pair (or group, when hosts take more than two
@@ -126,6 +168,11 @@ func (p *Policy) Rebalance(c *cluster.Cluster, hr simtime.Hour) {
 	if n < 2 {
 		return
 	}
+	sets, window := p.idleSets(vms, hr)
+	indexOf := make(map[*cluster.VM]int, n)
+	for i, v := range vms {
+		indexOf[v] = i
+	}
 	type pair struct {
 		a, b  int
 		score float64
@@ -133,10 +180,13 @@ func (p *Policy) Rebalance(c *cluster.Cluster, hr simtime.Hour) {
 	pairs := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, pair{i, j, p.idleOverlap(vms[i], vms[j], hr)})
+			pairs = append(pairs, pair{i, j, p.overlapFromSets(sets, window, i, j)})
 		}
 	}
-	sort.SliceStable(pairs, func(x, y int) bool {
+	// The (a, b) tiebreak makes the order total, so the unstable sort
+	// yields the same permutation as a stable one — without the O(n²)
+	// pair slice's merge rotations, which dominated rebalance CPU.
+	sort.Slice(pairs, func(x, y int) bool {
 		if pairs[x].score != pairs[y].score {
 			return pairs[x].score > pairs[y].score
 		}
@@ -158,16 +208,17 @@ func (p *Policy) Rebalance(c *cluster.Cluster, hr simtime.Hour) {
 		}
 		// Skip churn when the pairing gain is marginal: compare against
 		// the VM's current best overlap with a host mate.
-		if pr.score < p.currentScore(a, hr)+p.opts.StickyMargin &&
-			pr.score < p.currentScore(b, hr)+p.opts.StickyMargin {
+		if pr.score < p.currentScore(sets, window, indexOf, a)+p.opts.StickyMargin &&
+			pr.score < p.currentScore(sets, window, indexOf, b)+p.opts.StickyMargin {
 			continue
 		}
 		p.colocate(c, a, b)
 	}
 }
 
-// currentScore is the VM's best idle overlap with a current host mate.
-func (p *Policy) currentScore(v *cluster.VM, hr simtime.Hour) float64 {
+// currentScore is the VM's best idle overlap with a current host mate,
+// read from the round's precomputed idle bitsets.
+func (p *Policy) currentScore(sets [][]uint64, window int, indexOf map[*cluster.VM]int, v *cluster.VM) float64 {
 	h := v.Host()
 	if h == nil {
 		return -1
@@ -177,7 +228,7 @@ func (p *Policy) currentScore(v *cluster.VM, hr simtime.Hour) float64 {
 		if mate == v {
 			continue
 		}
-		if s := p.idleOverlap(v, mate, hr); s > best {
+		if s := p.overlapFromSets(sets, window, indexOf[v], indexOf[mate]); s > best {
 			best = s
 		}
 	}

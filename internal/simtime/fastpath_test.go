@@ -1,0 +1,58 @@
+package simtime
+
+import "testing"
+
+// TestDecomposeMatchesArithmetic cross-checks the table-lookup
+// Decompose against the arithmetic decomposition it was built from,
+// over more than three years of consecutive hours. Day-of-week is the
+// field the table cannot memoize directly (365 ≡ 1 mod 7 shifts it
+// every year), and month boundaries exercise the day-of-month rows.
+func TestDecomposeMatchesArithmetic(t *testing.T) {
+	for h := Hour(0); h < Hour(3*HoursPerYear+500); h++ {
+		if got, want := Decompose(h), decomposeArith(h); got != want {
+			t.Fatalf("Decompose(%d) = %+v, want %+v", h, got, want)
+		}
+	}
+	// Distant years still decompose exactly (the weekday patch wraps).
+	for _, h := range []Hour{
+		Hour(100*HoursPerYear) - 1,
+		Hour(100 * HoursPerYear),
+		Hour(1000*HoursPerYear) + 12345,
+	} {
+		if got, want := Decompose(h), decomposeArith(h); got != want {
+			t.Fatalf("Decompose(%d) = %+v, want %+v", h, got, want)
+		}
+	}
+}
+
+// TestDecomposeMonthBoundaries spot-checks the exact hours around every
+// month transition of a non-initial year.
+func TestDecomposeMonthBoundaries(t *testing.T) {
+	for m := 0; m < MonthsPerYear; m++ {
+		first := Date(2, m, 0, 0)
+		st := Decompose(first)
+		if st.Month != m || st.DayOfMonth != 0 || st.HourOfDay != 0 {
+			t.Fatalf("month %d start decomposes to %+v", m, st)
+		}
+		last := Date(2, m, MonthLength(m)-1, 23)
+		st = Decompose(last)
+		if st.Month != m || st.DayOfMonth != MonthLength(m)-1 || st.HourOfDay != 23 {
+			t.Fatalf("month %d end decomposes to %+v", m, st)
+		}
+		if next := Decompose(last + 1); next.HourOfDay != 0 || next.DayOfMonth != 0 {
+			t.Fatalf("hour after month %d end decomposes to %+v", m, next)
+		}
+	}
+}
+
+// TestDecomposeAllocationFree guards the steady-state cost of the
+// calendar hot path.
+func TestDecomposeAllocationFree(t *testing.T) {
+	h := Hour(123456)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = Decompose(h)
+		h++
+	}); allocs != 0 {
+		t.Fatalf("Decompose allocates %.1f per call", allocs)
+	}
+}
