@@ -308,3 +308,20 @@ func BenchmarkScenarioFacade(b *testing.B) {
 		rep.Summary(io.Discard)
 	}
 }
+
+// BenchmarkScenarioFamily runs one registered scenario family (the
+// shared-trace flash-crowd shape at reduced scale) end to end through
+// the scenario subsystem; CI's 1x pass keeps the catalog runnable.
+func BenchmarkScenarioFamily(b *testing.B) {
+	b.ReportAllocs()
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenarioFamily("flash-crowd",
+			ScenarioParams{Hosts: 8, HorizonHours: 7 * 24}, ScenarioOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = rep.Policies[0].EnergyKWh
+	}
+	b.ReportMetric(energy, "drowsy-kWh")
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"drowsydc/internal/exp"
+	"drowsydc/internal/scenario"
 )
 
 // BenchResult is one benchmark row of the JSON report consumed by the
@@ -30,10 +31,12 @@ func runBench(args []string) {
 	scalingSize := 256
 	sweepCfg := exp.SimConfig{Hosts: 8, Slots: 4, Days: 14,
 		Fractions: []float64{0.5, 1.0}, RebalanceEvery: 6}
+	scenarioParams := scenario.Params{Hosts: 16, HorizonHours: 30 * 24}
 	if *quick {
 		scalingSize = 64
 		sweepCfg.Days = 3
 		sweepCfg.Fractions = []float64{1.0}
+		scenarioParams = scenario.Params{Hosts: 8, HorizonHours: 7 * 24}
 	}
 
 	benches := []struct {
@@ -61,6 +64,18 @@ func runBench(args []string) {
 			for i := 0; i < b.N; i++ {
 				if exp.RunScaling([]int{scalingSize})[0].DrowsyIPs == 0 {
 					b.Fatal("no evaluations")
+				}
+			}
+		}},
+		{"scenario-flash-crowd", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := scenario.RunFamily("flash-crowd", scenarioParams, scenario.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Policies) == 0 || rep.Policies[0].EnergyKWh <= 0 {
+					b.Fatal("no scenario results")
 				}
 			}
 		}},

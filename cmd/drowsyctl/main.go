@@ -12,8 +12,10 @@
 //	drowsyctl figure4 [-years N]   # idleness model quality (Fig. 4)
 //	drowsyctl simulation [...]     # DC-scale sweep (§VI-B, reconstructed)
 //	drowsyctl scaling              # O(n) vs O(n²) comparison (§VII)
+//	drowsyctl all                  # every paper artifact above
+//	drowsyctl scenario list        # scenario-family catalog (beyond-paper workloads)
+//	drowsyctl scenario run -name F # run a family, energy/SLA/latency JSON
 //	drowsyctl bench [-quick]       # benchmark results as JSON (BENCH_*.json)
-//	drowsyctl all                  # everything above
 package main
 
 import (
@@ -45,6 +47,8 @@ func main() {
 		runSimulation(args)
 	case "scaling":
 		runScaling(args)
+	case "scenario":
+		runScenario(args)
 	case "bench":
 		runBench(args)
 	case "all":
@@ -58,7 +62,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: drowsyctl <command> [flags]
-commands: figure1 figure2 table1 energy figure3 table2 figure4 simulation scaling bench all`)
+commands: figure1 figure2 table1 energy figure3 table2 figure4 simulation scaling scenario bench all`)
 }
 
 func runFigure1(args []string) {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"drowsydc/internal/scenario"
+)
+
+// runScenario dispatches the scenario subcommands:
+//
+//	drowsyctl scenario list                 # the registered family catalog
+//	drowsyctl scenario run -name F [flags]  # run a family, JSON on stdout
+func runScenario(args []string) {
+	if len(args) < 1 {
+		scenarioUsage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		listScenarios()
+	case "run":
+		runScenarioFamily(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "drowsyctl scenario: unknown subcommand %q\n", args[0])
+		scenarioUsage()
+		os.Exit(2)
+	}
+}
+
+func scenarioUsage() {
+	fmt.Fprintln(os.Stderr, `usage: drowsyctl scenario <list|run> [flags]
+  list                     show the registered scenario families
+  run -name F [-hosts N] [-horizon-days N] [-workers N] [-private-cache]
+                           run family F, per-policy energy/SLA/latency JSON on stdout`)
+}
+
+func listScenarios() {
+	fams := scenario.Families()
+	fmt.Printf("%-18s %6s %6s %9s  %s\n", "family", "hosts", "vms", "horizon", "description")
+	for _, f := range fams {
+		sc := f.Build(scenario.Params{})
+		fmt.Printf("%-18s %6d %6d %8dd  %s\n",
+			f.Name, sc.TotalHosts(), sc.TotalVMs(), sc.HorizonHours/24, f.Description)
+		fmt.Printf("%-18s %s probes: %s\n", "", "      ", f.Probes)
+	}
+}
+
+func runScenarioFamily(args []string) {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	name := fs.String("name", "", "family to run (see `drowsyctl scenario list`)")
+	hosts := fs.Int("hosts", 0, "override fleet size (0 = family default)")
+	horizonDays := fs.Int("horizon-days", 0, "override horizon in days (0 = family default)")
+	workers := fs.Int("workers", 0, "policy cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+	private := fs.Bool("private-cache", false, "per-VM trace memos instead of the shared store")
+	_ = fs.Parse(args)
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "drowsyctl scenario run: -name is required")
+		scenarioUsage()
+		os.Exit(2)
+	}
+	rep, err := scenario.RunFamily(*name,
+		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24},
+		scenario.Options{Workers: *workers, PrivateCaches: *private})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Scenario-sweep: drive the scenario-family subsystem through the
+// public API. Lists the registered catalog, then runs a shrunk instance
+// of every family and tabulates the energy saving Drowsy-DC achieves
+// against the no-suspension baseline, plus the SLA outcome.
+//
+//	go run ./examples/scenario-sweep [-hosts N] [-days N] [-family F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"drowsydc"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 8, "fleet size to run every family at")
+	days := flag.Int("days", 14, "horizon in days")
+	family := flag.String("family", "", "run only this family (default: all)")
+	flag.Parse()
+
+	fmt.Println("Registered scenario families:")
+	for _, f := range drowsydc.ScenarioFamilies() {
+		fmt.Printf("  %-18s %s\n", f.Name, f.Description)
+	}
+	fmt.Println()
+
+	params := drowsydc.ScenarioParams{Hosts: *hosts, HorizonHours: *days * 24}
+	fmt.Printf("Sweep at %d hosts over %d days:\n", *hosts, *days)
+	fmt.Printf("%-18s %10s %10s %9s %8s %10s\n",
+		"family", "drowsy", "no-susp", "saving", "SLA", "migrations")
+	for _, f := range drowsydc.ScenarioFamilies() {
+		if *family != "" && f.Name != *family {
+			continue
+		}
+		rep, err := drowsydc.RunScenarioFamily(f.Name, params, drowsydc.ScenarioOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var drowsy, baseline *drowsydc.ScenarioPolicyResult
+		for i := range rep.Policies {
+			switch rep.Policies[i].Policy {
+			case "drowsy":
+				drowsy = &rep.Policies[i]
+			case "neat":
+				baseline = &rep.Policies[i]
+			}
+		}
+		if drowsy == nil || baseline == nil {
+			// A family with custom policy columns may not carry both
+			// comparison points; don't attribute numbers to the wrong one.
+			fmt.Printf("%-18s (no drowsy/neat columns; policies: %v)\n", f.Name, policyLabels(rep))
+			continue
+		}
+		fmt.Printf("%-18s %7.1fkWh %7.1fkWh %8.1f%% %7.2f%% %10d\n",
+			f.Name, drowsy.EnergyKWh, baseline.EnergyKWh,
+			100*(1-drowsy.EnergyKWh/baseline.EnergyKWh),
+			100*drowsy.SLAFraction, drowsy.Migrations)
+	}
+}
+
+// policyLabels lists a report's policy column labels.
+func policyLabels(rep *drowsydc.ScenarioReport) []string {
+	var out []string
+	for _, pr := range rep.Policies {
+		out = append(out, pr.Policy)
+	}
+	return out
+}

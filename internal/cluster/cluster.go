@@ -67,6 +67,10 @@ type VM struct {
 	// dominated simulation CPU before memoization. Nil when caching is
 	// disabled (see SetCaching).
 	cache *trace.CachedGenerator
+	// shared, when set, replaces the private cache with a concurrent
+	// store shared by every VM replaying the same archetype trace (see
+	// SetSharedTrace). Checked before cache in Activity.
+	shared *trace.Shared
 }
 
 // NewVM constructs a VM with a fresh idleness model.
@@ -81,9 +85,27 @@ func NewVM(id int, name string, kind Kind, memGB, vcpus int, gen trace.Generator
 // SetCaching enables or disables activity memoization (enabled by
 // default). Generators are pure, so the cached and uncached paths
 // return bit-identical levels; disabling exists for the equivalence
-// tests and for callers that mutate Gen mid-run.
+// tests and for callers that mutate Gen mid-run. Disabling also
+// detaches a shared-trace store.
 func (v *VM) SetCaching(on bool) {
 	if !on {
+		v.cache = nil
+		v.shared = nil
+	} else if v.cache == nil && v.shared == nil {
+		v.cache = trace.Cached(v.Gen)
+	}
+}
+
+// SetSharedTrace points the VM at a concurrent shared-trace store
+// instead of its private memo, so populations of VMs replaying one
+// archetype trace share a single memo (internal/scenario's replicated
+// workload groups). s must wrap the VM's own generator — generators are
+// pure, so the levels are bit-identical either way, but a mismatched
+// store would silently replace the workload. Passing nil restores the
+// private cache.
+func (v *VM) SetSharedTrace(s *trace.Shared) {
+	v.shared = s
+	if s != nil {
 		v.cache = nil
 	} else if v.cache == nil {
 		v.cache = trace.Cached(v.Gen)
@@ -92,6 +114,9 @@ func (v *VM) SetCaching(on bool) {
 
 // Activity returns the VM's activity level for the given hour.
 func (v *VM) Activity(h simtime.Hour) float64 {
+	if v.shared != nil {
+		return v.shared.Activity(h)
+	}
 	if v.cache != nil {
 		return v.cache.Activity(h)
 	}

@@ -177,7 +177,6 @@ func (m *Model) scores(st simtime.Stamp) [NumScales]float64 {
 	}
 }
 
-
 // IP computes the idleness probability wᵀ·SI ∈ [−1, 1] for the calendar
 // hour described by st (eq. 1). Positive values predict idleness.
 func (m *Model) IP(st simtime.Stamp) float64 {

@@ -46,6 +46,12 @@ type hourRecorder interface {
 type Config struct {
 	// Profile is the host power/latency profile.
 	Profile power.Profile
+	// HostProfiles overrides Profile for individual hosts (keyed by host
+	// ID), making heterogeneous fleets expressible: a scenario can mix
+	// big-memory efficient machines with legacy power-hungry ones. Hosts
+	// absent from the map use Profile; an empty or nil map reproduces the
+	// homogeneous behaviour exactly.
+	HostProfiles map[int]power.Profile
 	// EnableSuspend allows non-empty hosts to enter S3 when idle. The
 	// paper's vanilla-Neat baseline ("current real world case") runs
 	// with it disabled; empty hosts still power off in all modes.
@@ -62,6 +68,12 @@ type Config struct {
 	// active hour of a request-driven VM carries activity×RequestsPerHour
 	// requests (minimum one). Default 200.
 	RequestsPerHour int
+	// DisableColocation skips the hourly colocation-matrix update. The
+	// matrix is Figure 2's artifact and costs O(VMs²) per simulated hour
+	// — negligible on the 8-VM testbed, the single largest CPU item on a
+	// 500-VM year-horizon scenario. Runs that skip it must not read
+	// Result.Coloc fractions. No other output is affected.
+	DisableColocation bool
 	// ServiceSeconds is the base service time of one request (default
 	// 0.05 s; the CloudSuite web-search SLA is 200 ms).
 	ServiceSeconds float64
@@ -124,6 +136,7 @@ func (c Config) withDefaults() Config {
 // hostRT is the per-host runtime state.
 type hostRT struct {
 	host    *cluster.Host
+	profile power.Profile
 	machine *power.Machine
 	os      *ossim.OS
 	monitor *suspend.Monitor
@@ -191,8 +204,18 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 	if err := cfg.Profile.Validate(); err != nil {
 		panic(err)
 	}
+	for id, p := range cfg.HostProfiles {
+		if err := p.Validate(); err != nil {
+			panic(fmt.Sprintf("dcsim: host %d profile: %v", id, err))
+		}
+	}
 	if cfg.Hours <= 0 {
 		panic("dcsim: non-positive run length")
+	}
+	colocN := len(c.VMs()) + len(cfg.Arrivals)
+	if cfg.DisableColocation {
+		// The n×n matrix would be dead quadratic memory per run.
+		colocN = 0
 	}
 	r := &Runner{
 		cfg:         cfg,
@@ -200,7 +223,7 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 		cluster:     c,
 		policy:      policy,
 		rts:         make(map[int]*hostRT),
-		coloc:       metrics.NewColocation(len(c.VMs()) + len(cfg.Arrivals)),
+		coloc:       metrics.NewColocation(colocN),
 		latency:     metrics.NewLatencyStats(cfg.SLASeconds),
 		wakeLatency: metrics.NewLatencyStats(cfg.SLASeconds),
 	}
@@ -225,7 +248,16 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 	if start > 0 {
 		r.engine.RunUntil(start)
 	}
-	lead := simtime.Duration(math.Ceil(cfg.Profile.ResumeLatency))
+	// The waking module's scheduled-wake lead must cover the slowest
+	// host of the fleet, so ahead-of-time WoLs land early enough
+	// everywhere.
+	maxResume := cfg.Profile.ResumeLatency
+	for _, p := range cfg.HostProfiles {
+		if p.ResumeLatency > maxResume {
+			maxResume = p.ResumeLatency
+		}
+	}
+	lead := simtime.Duration(math.Ceil(maxResume))
 	if lead < 1 {
 		lead = 1
 	}
@@ -236,9 +268,14 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 		os := ossim.New(0)
 		os.Blacklist("monitord", "watchdog")
 		os.Spawn("monitord", ossim.StateRunning)
+		profile := cfg.Profile
+		if p, ok := cfg.HostProfiles[h.ID]; ok {
+			profile = p
+		}
 		rt := &hostRT{
 			host:    h,
-			machine: power.NewMachine(cfg.Profile, float64(start)),
+			profile: profile,
+			machine: power.NewMachine(profile, float64(start)),
 			os:      os,
 			monitor: suspend.NewMonitor(suspend.Config{UseGrace: cfg.UseGrace, DecisionOverhead: 1 * simtime.Second}, os),
 			procOf:  make(map[int]int),
@@ -266,8 +303,8 @@ func (r *Runner) onWoL(mac netsim.MAC) {
 	}
 	now := float64(r.engine.Now())
 	rt.machine.Transition(now, power.StateResuming)
-	rt.machine.Transition(now+r.cfg.Profile.ResumeLatency, power.StateActive)
-	rt.resumedAt = r.engine.Now().Add(simtime.Duration(math.Ceil(r.cfg.Profile.ResumeLatency)))
+	rt.machine.Transition(now+rt.profile.ResumeLatency, power.StateActive)
+	rt.resumedAt = r.engine.Now().Add(simtime.Duration(math.Ceil(rt.profile.ResumeLatency)))
 	hr := r.engine.NowHour()
 	rt.monitor.OnResume(rt.resumedAt, rt.host.Probability(hr))
 	r.wm.HostResumed(mac)
@@ -342,7 +379,9 @@ func (r *Runner) Run() *Result {
 			r.policy.Rebalance(c, hr)
 			r.applyPlacementChanges(before)
 		}
-		r.coloc.RecordHour(r.assignmentsAll())
+		if !r.cfg.DisableColocation {
+			r.coloc.RecordHour(r.assignmentsAll())
+		}
 
 		// Play the hour on every host.
 		for _, h := range c.Hosts() {
@@ -600,7 +639,7 @@ func (r *Runner) maybeSuspend(rt *hostRT, hr simtime.Hour, from simtime.Time) {
 		return
 	}
 	suspendAt := checkAt.Add(rt.monitor.DecisionOverhead())
-	done := float64(suspendAt) + r.cfg.Profile.SuspendLatency
+	done := float64(suspendAt) + rt.profile.SuspendLatency
 	if done >= float64(hourEnd) {
 		return // transition would spill past the hour boundary
 	}
@@ -636,9 +675,9 @@ func (r *Runner) recordRequests(rt *hostRT, vms []*cluster.VM, acts []float64, f
 	wakePenalty := 0.0
 	if rt.packetWoken {
 		if r.cfg.NaiveResume {
-			wakePenalty = r.cfg.Profile.NaiveResumeLatency
+			wakePenalty = rt.profile.NaiveResumeLatency
 		} else {
-			wakePenalty = r.cfg.Profile.ResumeLatency
+			wakePenalty = rt.profile.ResumeLatency
 		}
 	}
 	for i, v := range vms {

@@ -66,22 +66,32 @@ func TestbedSpecs() []VMSpec {
 	}
 }
 
+// policyConstructors is the single source of policy names, shared by
+// NewPolicy and ValidPolicy so the two cannot drift.
+var policyConstructors = map[string]func() cluster.Policy{
+	"drowsy":      func() cluster.Policy { return drowsy.New(drowsy.Options{}) },
+	"drowsy-full": func() cluster.Policy { return drowsy.New(drowsy.Options{FullRelocation: true}) },
+	"neat":        func() cluster.Policy { return neat.New(neat.Options{}) },
+	"oasis":       func() cluster.Policy { return oasis.New(oasis.Options{}) },
+}
+
+// ValidPolicy reports whether name is a policy NewPolicy can build,
+// for callers that validate configurations before fanning out (a bad
+// name would otherwise panic on a worker goroutine).
+func ValidPolicy(name string) bool {
+	_, ok := policyConstructors[name]
+	return ok
+}
+
 // NewPolicy constructs a policy by name: "drowsy" (production mode),
 // "drowsy-full" (periodic full relocation, the testbed evaluation
 // mode), "neat", or "oasis".
 func NewPolicy(name string) cluster.Policy {
-	switch name {
-	case "drowsy":
-		return drowsy.New(drowsy.Options{})
-	case "drowsy-full":
-		return drowsy.New(drowsy.Options{FullRelocation: true})
-	case "neat":
-		return neat.New(neat.Options{})
-	case "oasis":
-		return oasis.New(oasis.Options{})
-	default:
+	ctor, ok := policyConstructors[name]
+	if !ok {
 		panic(fmt.Sprintf("exp: unknown policy %q", name))
 	}
+	return ctor()
 }
 
 // RunTestbedPolicy executes the testbed under one policy configuration.

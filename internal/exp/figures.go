@@ -81,7 +81,7 @@ func RunTestbedWorkers(days, workers int) *TestbedResult {
 		res.VMNames = append(res.VMNames, s.Name)
 	}
 	res.HostNames = []string{"P2", "P3", "P4", "P5"}
-	runs := parMap(workers, 3, func(i int) *dcsim.Result {
+	runs := ParMap(workers, 3, func(i int) *dcsim.Result {
 		switch i {
 		case 0:
 			return RunTestbedPolicy("drowsy-full", days, true, true)
@@ -167,7 +167,7 @@ func RunFigure4(years int) []Figure4Trace { return RunFigure4Workers(years, 0) }
 // (0 = GOMAXPROCS, 1 = serial).
 func RunFigure4Workers(years, workers int) []Figure4Trace {
 	gens := trace.TableII()
-	return parMap(workers, len(gens), func(i int) Figure4Trace {
+	return ParMap(workers, len(gens), func(i int) Figure4Trace {
 		g := gens[i]
 		m := core.New()
 		win := metrics.NewWindowed(7 * 24)

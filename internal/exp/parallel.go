@@ -9,15 +9,17 @@ import (
 // The experiment grid is embarrassingly parallel: every cell (one
 // policy configuration at one population point) builds its own cluster
 // and runs a fully deterministic simulation, sharing no mutable state
-// with its neighbours. parMap fans such cells out over a bounded worker
+// with its neighbours. ParMap fans such cells out over a bounded worker
 // pool so sweep wall-clock scales with cores while results stay
 // bit-identical to a serial run.
 
-// parMap evaluates fn(0..n-1) on min(workers, n) goroutines and
+// ParMap evaluates fn(0..n-1) on min(workers, n) goroutines and
 // returns the results in index order. workers <= 0 selects
 // runtime.GOMAXPROCS(0); workers == 1 runs inline (the serial mode the
-// equivalence tests compare against).
-func parMap[T any](workers, n int, fn func(int) T) []T {
+// equivalence tests compare against). It is exported for sibling
+// experiment drivers (internal/scenario) whose grids have the same
+// independent-deterministic-cell structure.
+func ParMap[T any](workers, n int, fn func(int) T) []T {
 	out := make([]T, n)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -99,7 +99,7 @@ func population(n int, llmiFrac float64) []VMSpec {
 func RunSimulation(cfg SimConfig) []SimPoint {
 	nVMs := cfg.Hosts * cfg.Slots * 3 / 4 // 75% occupancy: consolidation has room
 	const cellsPerFrac = 4                // drowsy, neat+S3, vanilla neat, oasis
-	results := parMap(cfg.Workers, len(cfg.Fractions)*cellsPerFrac, func(i int) *dcsim.Result {
+	results := ParMap(cfg.Workers, len(cfg.Fractions)*cellsPerFrac, func(i int) *dcsim.Result {
 		frac := cfg.Fractions[i/cellsPerFrac]
 		var policy cluster.Policy
 		var suspendOn, grace bool
@@ -174,7 +174,7 @@ func RunScaling(sizes []int) []ScalePoint { return RunScalingWorkers(sizes, 0) }
 // RunScalingWorkers is RunScaling with an explicit worker bound
 // (0 = GOMAXPROCS, 1 = serial).
 func RunScalingWorkers(sizes []int, workers int) []ScalePoint {
-	evals := parMap(workers, len(sizes)*2, func(i int) uint64 {
+	evals := ParMap(workers, len(sizes)*2, func(i int) uint64 {
 		n := sizes[i/2]
 		hosts := (n + 3) / 4
 		c := BuildCluster(hosts, 16, 8, 4, population(n, 1.0))

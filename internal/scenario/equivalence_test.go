@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The scenario runner layers two execution choices on top of the
+// deterministic simulation — cell parallelism and the shared-trace
+// store — and both must be invisible in the results. These tests assert
+// bit-identity (reflect.DeepEqual over float64 fields compares exact
+// bits), mirroring internal/exp/equivalence_test.go for the sweep
+// driver.
+
+// equivFamilies are shrunk but structurally diverse: a plain mix, a
+// replicated-group family (shared store actually engaged, including the
+// 200-replica shape at reduced scale) and a churn family (arrivals,
+// departures).
+var equivFamilies = []string{"always-on-mix", "flash-crowd", "vm-churn"}
+
+// TestSerialParallelIdentical compares Workers=1 against the full
+// worker pool.
+func TestSerialParallelIdentical(t *testing.T) {
+	for _, name := range equivFamilies {
+		sc := small(name)
+		serial, err := Run(sc, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Run(sc, Options{Workers: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("%s: serial and parallel reports differ\nserial:   %+v\nparallel: %+v",
+				name, serial, parallel)
+		}
+	}
+}
+
+// TestSharedPrivateIdentical compares the shared-trace store against
+// per-VM private caches, with cells running concurrently in both modes
+// so the shared store sees real cross-cell contention.
+func TestSharedPrivateIdentical(t *testing.T) {
+	for _, name := range equivFamilies {
+		sc := small(name)
+		shared, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		private, err := Run(sc, Options{PrivateCaches: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(shared, private) {
+			t.Fatalf("%s: shared-store and private-cache reports differ\nshared:  %+v\nprivate: %+v",
+				name, shared, private)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/power"
+	"drowsydc/internal/simtime"
+	"drowsydc/internal/trace"
+)
+
+// Built-in scenario families. Each is one Register call on one struct
+// literal — the pattern future workload PRs follow. The catalog spans
+// the workload axes the paper's evaluation fixes: fleet size (tens to
+// hundreds of hosts), horizon (month to year), archetype (diurnal,
+// seasonal, batch, flash-crowd, always-on, churn) and fleet
+// homogeneity. DESIGN.md ("Scenario catalog") documents the knobs and
+// the claim each family probes.
+
+// defaults picks d when v is zero (Params scaling convention).
+func defaults(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+// perHosts scales a population count linearly with the fleet: num VMs
+// per den hosts, at least 1.
+func perHosts(hosts, num, den int) int {
+	n := hosts * num / den
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// stdHosts is the single-class fleet most families use: the paper's
+// testbed host shape scaled up to a 64 GB / 16 vCPU / 8 slot server.
+func stdHosts(n int) []HostClass {
+	return []HostClass{{Name: "std", Count: n, MemGB: 64, VCPUs: 16, Slots: 8}}
+}
+
+// officeGen is the diurnal business-hours archetype (the paper's
+// Figure 1 shape): Mon-Fri morning and afternoon peaks.
+func officeGen() trace.Generator { return trace.RealTrace(1) }
+
+// flashCrowdGen is mostly-idle daytime trickle punctured by a monthly
+// flash crowd: the 15th of every month, 18:00-22:00 at near-full load
+// (a ticket sale, a patch release). It is the adversarial case for
+// packet-triggered waking: hundreds of replicas go from idle to hot in
+// the same hour.
+func flashCrowdGen() trace.Generator {
+	return trace.Generator{
+		Name: "flash-crowd",
+		Fn: trace.Jitter(0xf1a54, 0.10, trace.Sum(
+			trace.Bell(13, 4, 0.06),
+			trace.DaysOfMonth([]int{14}, trace.HourWindow(18, 22, trace.Const(0.95))),
+		)),
+	}
+}
+
+// weeklyReportGen is a Saturday-night reporting batch.
+func weeklyReportGen() trace.Generator {
+	return trace.Generator{
+		Name: "weekly-report",
+		Fn:   trace.Weekdays([]int{5}, trace.HourWindow(3, 6, trace.Const(0.7))),
+	}
+}
+
+func init() {
+	Register(Family{
+		Name:        "diurnal-office",
+		Description: "business-hours LLMI fleet with nightly backups over one month",
+		Probes:      "colocation of same-idleness VMs at fleet scale (Fig. 2 beyond 8 VMs)",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 32)
+			return Scenario{
+				Name:         "diurnal-office",
+				Description:  "business-hours LLMI fleet with nightly backups over one month",
+				HorizonHours: defaults(p.HorizonHours, 30*simtime.HoursPerDay),
+				Hosts:        stdHosts(hosts),
+				Groups: []WorkloadGroup{
+					{Name: "office", Count: perHosts(hosts, 4, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: officeGen(), ShiftStepHours: 1, Seed: 0x0ff1ce},
+					{Name: "backup", Count: perHosts(hosts, 1, 2), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.DailyBackup(0.6), ShiftStepHours: 2,
+						Seed: 0xbac0, TimerDriven: true},
+					{Name: "llmu", Count: perHosts(hosts, 1, 2), Kind: cluster.KindLLMU,
+						MemGB: 6, VCPUs: 2, Gen: trace.LLMU(0x11), ShiftStepHours: 3, Seed: 0x11},
+				},
+				RebalanceEvery:  6,
+				RequestsPerHour: 50,
+			}
+		},
+	})
+
+	Register(Family{
+		Name:        "seasonal-web",
+		Description: "replicated seasonal-results site plus comic-strip fleet over a full year",
+		Probes:      "yearly-scale SI_y learning (§III-A, Fig. 4b): do rare annual peaks stay predictable?",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 24)
+			return Scenario{
+				Name:         "seasonal-web",
+				Description:  "replicated seasonal-results site plus comic-strip fleet over a full year",
+				HorizonHours: defaults(p.HorizonHours, simtime.HoursPerYear),
+				Hosts:        stdHosts(hosts),
+				Groups: []WorkloadGroup{
+					{Name: "results", Count: perHosts(hosts, 2, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.SeasonalResults(), Replicated: true},
+					{Name: "comics", Count: perHosts(hosts, 3, 2), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.ComicStrips(0.5), ShiftStepHours: 1, Seed: 0xc0},
+					{Name: "llmu", Count: perHosts(hosts, 1, 2), Kind: cluster.KindLLMU,
+						MemGB: 6, VCPUs: 2, Gen: trace.LLMU(0x22), ShiftStepHours: 5, Seed: 0x22},
+				},
+				RebalanceEvery:  12,
+				RequestsPerHour: 50,
+			}
+		},
+	})
+
+	Register(Family{
+		Name:        "bursty-batch",
+		Description: "timer-driven nightly and weekly batch windows staggered across the night",
+		Probes:      "scheduled-wake path (§V, Table I backup row): ahead-of-time WoLs vs packet wakes",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 16)
+			return Scenario{
+				Name:         "bursty-batch",
+				Description:  "timer-driven nightly and weekly batch windows staggered across the night",
+				HorizonHours: defaults(p.HorizonHours, 30*simtime.HoursPerDay),
+				Hosts:        stdHosts(hosts),
+				Groups: []WorkloadGroup{
+					{Name: "nightly", Count: perHosts(hosts, 3, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.DailyBackup(0.7), ShiftStepHours: 1,
+						Seed: 0xb1, TimerDriven: true},
+					{Name: "weekly", Count: perHosts(hosts, 1, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: weeklyReportGen(), ShiftStepHours: 3,
+						Seed: 0xb2, TimerDriven: true},
+					{Name: "month-end", Count: perHosts(hosts, 1, 2), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.RealTrace(5), ShiftStepHours: 2, Seed: 0xb3},
+				},
+				RebalanceEvery:  6,
+				RequestsPerHour: 50,
+			}
+		},
+	})
+
+	Register(Family{
+		Name:        "flash-crowd",
+		Description: "identical replicas of a flash-crowd service sharing one trace memo, one quarter",
+		Probes:      "correlated burst waking under SLA (§VI-A-3) and the shared-trace store under contention",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 30)
+			return Scenario{
+				Name:         "flash-crowd",
+				Description:  "identical replicas of a flash-crowd service sharing one trace memo, one quarter",
+				HorizonHours: defaults(p.HorizonHours, 90*simtime.HoursPerDay),
+				Hosts:        stdHosts(hosts),
+				Groups: []WorkloadGroup{
+					{Name: "replica", Count: perHosts(hosts, 20, 3), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: flashCrowdGen(), Replicated: true},
+					{Name: "llmu", Count: perHosts(hosts, 1, 1), Kind: cluster.KindLLMU,
+						MemGB: 6, VCPUs: 2, Gen: trace.LLMU(0x33), ShiftStepHours: 7, Seed: 0x33},
+				},
+				RebalanceEvery:  6,
+				RequestsPerHour: 50,
+			}
+		},
+	})
+
+	Register(Family{
+		Name:        "always-on-mix",
+		Description: "half LLMI / half LLMU population over one month",
+		Probes:      "the §VI-B mid-fraction region, where suspension opportunities are scarcest",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 32)
+			return Scenario{
+				Name:         "always-on-mix",
+				Description:  "half LLMI / half LLMU population over one month",
+				HorizonHours: defaults(p.HorizonHours, 30*simtime.HoursPerDay),
+				Hosts:        stdHosts(hosts),
+				Groups: []WorkloadGroup{
+					{Name: "llmi", Count: perHosts(hosts, 5, 2), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.RealTrace(2), ShiftStepHours: 1, Seed: 0xa1},
+					{Name: "llmu", Count: perHosts(hosts, 5, 2), Kind: cluster.KindLLMU,
+						MemGB: 4, VCPUs: 2, Gen: trace.LLMU(0xa2), ShiftStepHours: 2, Seed: 0xa2},
+				},
+				RebalanceEvery:  6,
+				RequestsPerHour: 50,
+			}
+		},
+	})
+
+	Register(Family{
+		Name:        "vm-churn",
+		Description: "LLMI base fleet with short-lived mostly-used VMs arriving and departing all month",
+		Probes:      "the Nova PlaceNew path (§III-D-a): placement quality when the population never settles",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 16)
+			return Scenario{
+				Name:         "vm-churn",
+				Description:  "LLMI base fleet with short-lived mostly-used VMs arriving and departing all month",
+				HorizonHours: defaults(p.HorizonHours, 30*simtime.HoursPerDay),
+				Hosts:        stdHosts(hosts),
+				Groups: []WorkloadGroup{
+					{Name: "base", Count: perHosts(hosts, 3, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.RealTrace(4), ShiftStepHours: 1, Seed: 0xc1},
+					// A fresh MapReduce-style task every 12 hours, each
+					// fully active for two days then gone.
+					{Name: "task", Count: perHosts(hosts, 5, 2), Kind: cluster.KindSLMU,
+						MemGB: 4, VCPUs: 2,
+						Gen:         trace.Generator{Name: "slmu-churn", Fn: trace.Const(0.8)},
+						Replicated:  true,
+						ArriveEvery: 12, LifetimeHours: 48},
+				},
+				RebalanceEvery:  6,
+				RequestsPerHour: 50,
+			}
+		},
+	})
+
+	Register(Family{
+		Name:        "hetero-fleet-year",
+		Description: "three power/capacity host classes, mixed archetypes, one full year",
+		Probes: "beyond-paper: do the paper's savings survive fleet heterogeneity and a year horizon? " +
+			"(Oasis is excluded: its O(n²) pair scan (§VII) is impractical at this scale — itself the claim)",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 224)
+			std := perHosts(hosts, 3, 7)
+			dense := perHosts(hosts, 2, 7)
+			legacy := hosts - std - dense
+			if legacy < 1 {
+				legacy = 1
+			}
+			// A modern dense box: more capacity, lower draw, faster S3
+			// transitions than the paper's testbed host.
+			denseProfile := power.Profile{
+				IdleWatts: 40, PeakWatts: 95, SuspendedWatts: 3.5, OffWatts: 1,
+				SuspendLatency: 2.5, ResumeLatency: 0.7, NaiveResumeLatency: 1.3,
+			}
+			// A legacy box: power-hungry and slow to suspend/resume —
+			// the machines consolidation should drain first.
+			legacyProfile := power.Profile{
+				IdleWatts: 85, PeakWatts: 170, SuspendedWatts: 9, OffWatts: 2,
+				SuspendLatency: 4, ResumeLatency: 1.2, NaiveResumeLatency: 2.2,
+			}
+			return Scenario{
+				Name:         "hetero-fleet-year",
+				Description:  "three power/capacity host classes, mixed archetypes, one full year",
+				HorizonHours: defaults(p.HorizonHours, simtime.HoursPerYear),
+				Hosts: []HostClass{
+					{Name: "std", Count: std, MemGB: 64, VCPUs: 16, Slots: 8},
+					{Name: "dense", Count: dense, MemGB: 96, VCPUs: 24, Slots: 12, Profile: denseProfile},
+					{Name: "legacy", Count: legacy, MemGB: 48, VCPUs: 12, Slots: 6, Profile: legacyProfile},
+				},
+				Groups: []WorkloadGroup{
+					{Name: "office", Count: perHosts(hosts, 1, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: officeGen(), ShiftStepHours: 1, Seed: 0xd1},
+					{Name: "results", Count: perHosts(hosts, 2, 7), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.SeasonalResults(), Replicated: true},
+					{Name: "flash", Count: perHosts(hosts, 2, 7), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: flashCrowdGen(), Replicated: true},
+					{Name: "backup", Count: perHosts(hosts, 3, 14), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.DailyBackup(0.6), ShiftStepHours: 2,
+						Seed: 0xd2, TimerDriven: true},
+					{Name: "llmu", Count: perHosts(hosts, 3, 7), Kind: cluster.KindLLMU,
+						MemGB: 6, VCPUs: 2, Gen: trace.LLMU(0xd3), ShiftStepHours: 5, Seed: 0xd3},
+				},
+				RebalanceEvery:  24,
+				RequestsPerHour: 30,
+				Policies: []PolicyConfig{
+					{Label: "drowsy", Policy: "drowsy-full", Suspend: true, Grace: true},
+					{Label: "neat-s3", Policy: "neat", Suspend: true},
+					{Label: "neat", Policy: "neat"},
+				},
+			}
+		},
+	})
+}

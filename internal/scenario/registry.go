@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Params scales a family at build time. Zero fields select the family's
+// defaults, so Params{} always builds the canonical scenario.
+type Params struct {
+	// Hosts overrides the fleet size; families scale their host classes
+	// and populations proportionally.
+	Hosts int
+	// HorizonHours overrides the simulated duration.
+	HorizonHours int
+}
+
+// Family is a registered scenario constructor: the unit new workload
+// families are added as — one struct literal and the family appears in
+// the registry, the CLI catalog and the docs tooling.
+type Family struct {
+	// Name is the registry key ("flash-crowd").
+	Name string
+	// Description is the one-line catalog entry.
+	Description string
+	// Probes names the paper claim (or beyond-paper question) the
+	// family stresses, surfaced by `drowsyctl scenario list`.
+	Probes string
+	// Build constructs the scenario at the given scale.
+	Build func(Params) Scenario
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Family{}
+)
+
+// Register adds a family to the registry. It panics on a duplicate or
+// malformed family: registration is an init-time, programmer-facing
+// operation.
+func Register(f Family) {
+	if f.Name == "" || f.Build == nil {
+		panic("scenario: Register of family without name or Build")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[f.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate family %q", f.Name))
+	}
+	registry[f.Name] = f
+}
+
+// Families returns the registered families sorted by name.
+func Families() []Family {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Family, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds a family by name.
+func Lookup(name string) (Family, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"fmt"
+
+	"drowsydc/internal/dcsim"
+	"drowsydc/internal/exp"
+)
+
+// Options tunes scenario execution, not its physics: every combination
+// of options yields bit-identical Reports.
+type Options struct {
+	// Workers bounds concurrently executed policy cells (0 =
+	// GOMAXPROCS, 1 = serial — the mode the equivalence tests compare
+	// against).
+	Workers int
+	// PrivateCaches disables the shared-trace stores, giving every VM
+	// its own private memo (the pre-scenario behaviour). Exists for the
+	// shared-vs-private equivalence test and for memory-vs-sharing
+	// experiments.
+	PrivateCaches bool
+}
+
+// PolicyResult is one comparison column of a scenario run.
+type PolicyResult struct {
+	Policy            string  `json:"policy"`
+	EnergyKWh         float64 `json:"energy_kwh"`
+	SuspendedFraction float64 `json:"suspended_fraction"`
+	Migrations        int     `json:"migrations"`
+	Requests          int64   `json:"requests"`
+	SLAFraction       float64 `json:"sla_fraction"`
+	P99LatencySeconds float64 `json:"p99_latency_seconds"`
+	MaxLatencySeconds float64 `json:"max_latency_seconds"`
+	WorstWakeSeconds  float64 `json:"worst_wake_seconds"`
+	ScheduledWakes    uint64  `json:"scheduled_wakes"`
+	PacketWakes       uint64  `json:"packet_wakes"`
+}
+
+// Report is a scenario run's JSON-serializable outcome.
+type Report struct {
+	Scenario     string         `json:"scenario"`
+	Description  string         `json:"description"`
+	Hosts        int            `json:"hosts"`
+	VMs          int            `json:"vms"`
+	HorizonHours int            `json:"horizon_hours"`
+	Policies     []PolicyResult `json:"policies"`
+}
+
+// Run validates and executes a scenario: one independent deterministic
+// simulation per policy column, fanned out over the worker pool.
+// Results are bit-identical at any worker count and with or without
+// shared trace stores.
+func Run(sc Scenario, opt Options) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	stores := sc.sharedStores()
+	if opt.PrivateCaches {
+		stores = nil
+	}
+	cols := sc.policies()
+	results := exp.ParMap(opt.Workers, len(cols), func(i int) *dcsim.Result {
+		pc := cols[i]
+		c, arrivals, departures, profiles := sc.materialize(stores)
+		return dcsim.NewRunner(dcsim.Config{
+			HostProfiles:    profiles,
+			Hours:           sc.HorizonHours,
+			StartHour:       sc.Start,
+			EnableSuspend:   pc.Suspend,
+			UseGrace:        pc.Grace,
+			NaiveResume:     pc.NaiveResume,
+			RebalanceEvery:  sc.RebalanceEvery,
+			RequestsPerHour: sc.RequestsPerHour,
+			Arrivals:        arrivals,
+			Departures:      departures,
+			// Scenario reports never read the colocation matrix; its
+			// O(VMs²)-per-hour update would dominate fleet-scale runs.
+			DisableColocation: true,
+		}, c, exp.NewPolicy(pc.Policy)).Run()
+	})
+	rep := &Report{
+		Scenario:     sc.Name,
+		Description:  sc.Description,
+		Hosts:        sc.TotalHosts(),
+		VMs:          sc.SimulatedVMs(),
+		HorizonHours: sc.HorizonHours,
+	}
+	for i, res := range results {
+		rep.Policies = append(rep.Policies, PolicyResult{
+			Policy:            cols[i].Label,
+			EnergyKWh:         res.EnergyKWh,
+			SuspendedFraction: res.GlobalSuspFrac,
+			Migrations:        res.Migrations,
+			Requests:          res.Latency.Count(),
+			SLAFraction:       res.Latency.SLAFraction(),
+			P99LatencySeconds: res.Latency.Quantile(0.99),
+			MaxLatencySeconds: res.Latency.Max(),
+			WorstWakeSeconds:  res.WakeLatency.Max(),
+			ScheduledWakes:    res.ScheduledWakes,
+			PacketWakes:       res.PacketWakes,
+		})
+	}
+	return rep, nil
+}
+
+// RunFamily looks a family up, builds it at the given scale and runs
+// it — the one-call path the CLI and the facade use.
+func RunFamily(name string, p Params, opt Options) (*Report, error) {
+	if p.Hosts < 0 || p.HorizonHours < 0 {
+		// Zero means "family default"; a negative value is a typo that
+		// must not silently run the (possibly year-scale) default.
+		return nil, fmt.Errorf("scenario: negative scale override (hosts %d, horizon %d)",
+			p.Hosts, p.HorizonHours)
+	}
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown family %q (see `drowsyctl scenario list`)", name)
+	}
+	return Run(f.Build(p), opt)
+}

@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"fmt"
+
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/dcsim"
+	"drowsydc/internal/exp"
+	"drowsydc/internal/power"
+	"drowsydc/internal/simtime"
+	"drowsydc/internal/trace"
+)
+
+// HostClass describes one homogeneous slice of a (possibly
+// heterogeneous) fleet: Count hosts sharing capacities and a power
+// profile.
+type HostClass struct {
+	// Name labels the class ("standard", "legacy", ...).
+	Name string
+	// Count is the number of hosts of this class.
+	Count int
+	// MemGB and VCPUs are per-host capacities.
+	MemGB int
+	VCPUs int
+	// Slots bounds VMs per host (0 = unbounded).
+	Slots int
+	// Profile is the class's power/latency profile. The zero value
+	// selects power.DefaultProfile() (the paper's testbed host).
+	Profile power.Profile
+}
+
+// WorkloadGroup fans one workload archetype out over a VM population.
+type WorkloadGroup struct {
+	// Name labels the group; member VMs are named Name-NNN.
+	Name string
+	// Count is the number of VMs in the group.
+	Count int
+	// Kind classifies the members (LLMI/LLMU/SLMU).
+	Kind cluster.Kind
+	// MemGB and VCPUs are per-VM demands.
+	MemGB int
+	VCPUs int
+	// Gen is the archetype trace.
+	Gen trace.Generator
+	// Replicated makes every member replay Gen exactly — the shape the
+	// shared-trace store collapses to a single memo (a load-balanced
+	// service behind identical replicas). When false, each member runs a
+	// phase-shifted, re-jittered variant of Gen, modelling
+	// structurally-alike-but-distinct workloads.
+	Replicated bool
+	// ShiftStepHours is the phase-shift step between consecutive
+	// non-replicated members (member i is shifted i·step hours, wrapped
+	// within the week).
+	ShiftStepHours int
+	// Seed diversifies variant jitter between groups.
+	Seed uint64
+	// TimerDriven marks members whose activity is timer-initiated
+	// (backup jobs): hosts are woken ahead of schedule instead of paying
+	// the request wake latency.
+	TimerDriven bool
+	// ArriveEvery, when positive, turns the group into a churn group:
+	// member i is created i·ArriveEvery hours after the scenario start
+	// (member 0 starts placed) and enters through the policy's PlaceNew
+	// path, like a Nova boot request.
+	ArriveEvery int
+	// LifetimeHours, when positive, terminates each member that many
+	// hours after its creation (the SLMU lifecycle: capacity returns to
+	// the pool).
+	LifetimeHours int
+}
+
+// PolicyConfig is one column of a scenario's comparison: a
+// consolidation policy plus the runtime switches the paper varies.
+type PolicyConfig struct {
+	// Label names the column in reports ("neat-s3").
+	Label string
+	// Policy is the exp.NewPolicy constructor name ("drowsy",
+	// "drowsy-full", "neat", "oasis").
+	Policy string
+	// Suspend enables S3 on idle non-empty hosts.
+	Suspend bool
+	// Grace enables the anti-oscillation grace time.
+	Grace bool
+	// NaiveResume charges the unoptimized resume latency.
+	NaiveResume bool
+}
+
+// DefaultPolicies returns the paper's four-way comparison: Drowsy-DC in
+// full-relocation evaluation mode, Neat with S3, vanilla Neat, and
+// Oasis.
+func DefaultPolicies() []PolicyConfig {
+	return []PolicyConfig{
+		{Label: "drowsy", Policy: "drowsy-full", Suspend: true, Grace: true},
+		{Label: "neat-s3", Policy: "neat", Suspend: true},
+		{Label: "neat", Policy: "neat"},
+		{Label: "oasis", Policy: "oasis", Suspend: true},
+	}
+}
+
+// Scenario is a fully declarative datacenter experiment: hosts,
+// workloads, horizon and the policy columns to compare. It is pure
+// data; Run materializes and executes it.
+type Scenario struct {
+	Name        string
+	Description string
+	// Start is the calendar hour the run begins at.
+	Start simtime.Hour
+	// HorizonHours is the simulated duration.
+	HorizonHours int
+	// Hosts composes the fleet from host classes.
+	Hosts []HostClass
+	// Groups composes the workload from archetype populations.
+	Groups []WorkloadGroup
+	// RebalanceEvery is the consolidation period in hours (0 = every
+	// hour). Long-horizon scenarios raise it: the paper consolidates
+	// hourly on an 8-VM testbed, but a year-long fleet sweep only needs
+	// placement to track calendar-scale idleness shifts.
+	RebalanceEvery int
+	// RequestsPerHour scales SLA request sampling (0 = dcsim default).
+	RequestsPerHour int
+	// Policies are the comparison columns (nil = DefaultPolicies).
+	Policies []PolicyConfig
+}
+
+// TotalHosts sums the host classes.
+func (sc Scenario) TotalHosts() int {
+	n := 0
+	for _, hc := range sc.Hosts {
+		n += hc.Count
+	}
+	return n
+}
+
+// TotalVMs sums the workload groups (including churn members that only
+// exist for part of the horizon).
+func (sc Scenario) TotalVMs() int {
+	n := 0
+	for _, g := range sc.Groups {
+		n += g.Count
+	}
+	return n
+}
+
+// policies returns the effective policy columns.
+func (sc Scenario) policies() []PolicyConfig {
+	if len(sc.Policies) > 0 {
+		return sc.Policies
+	}
+	return DefaultPolicies()
+}
+
+// Validate checks that the scenario is well-formed and that the fleet
+// can plausibly hold the population (initial placement panics deep in
+// the runtime otherwise, so the check front-loads the error).
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if sc.HorizonHours <= 0 {
+		return fmt.Errorf("scenario %s: non-positive horizon", sc.Name)
+	}
+	if sc.Start < 0 {
+		return fmt.Errorf("scenario %s: negative start hour", sc.Name)
+	}
+	if len(sc.Hosts) == 0 || sc.TotalHosts() == 0 {
+		return fmt.Errorf("scenario %s: no hosts", sc.Name)
+	}
+	if len(sc.Groups) == 0 || sc.TotalVMs() == 0 {
+		return fmt.Errorf("scenario %s: no VMs", sc.Name)
+	}
+	memCap, slotCap, unbounded := 0, 0, false
+	for _, hc := range sc.Hosts {
+		if hc.Count <= 0 || hc.MemGB <= 0 || hc.VCPUs <= 0 || hc.Slots < 0 {
+			return fmt.Errorf("scenario %s: host class %q has invalid shape", sc.Name, hc.Name)
+		}
+		if hc.Profile != (power.Profile{}) {
+			if err := hc.Profile.Validate(); err != nil {
+				return fmt.Errorf("scenario %s: host class %q: %v", sc.Name, hc.Name, err)
+			}
+		}
+		memCap += hc.Count * hc.MemGB
+		if hc.Slots == 0 {
+			unbounded = true
+		}
+		slotCap += hc.Count * hc.Slots
+	}
+	memDemand, vmCount := 0, 0
+	for _, g := range sc.Groups {
+		if g.Count <= 0 || g.MemGB <= 0 || g.VCPUs <= 0 {
+			return fmt.Errorf("scenario %s: group %q has invalid shape", sc.Name, g.Name)
+		}
+		if g.Gen.Fn == nil {
+			return fmt.Errorf("scenario %s: group %q has no generator", sc.Name, g.Name)
+		}
+		if g.ArriveEvery < 0 || g.LifetimeHours < 0 {
+			return fmt.Errorf("scenario %s: group %q has negative churn parameters", sc.Name, g.Name)
+		}
+		peak := peakMembers(g)
+		memDemand += peak * g.MemGB
+		vmCount += peak
+	}
+	if memDemand > memCap {
+		return fmt.Errorf("scenario %s: %d GB of VM memory exceeds %d GB of fleet memory",
+			sc.Name, memDemand, memCap)
+	}
+	if !unbounded && vmCount > slotCap {
+		return fmt.Errorf("scenario %s: %d VMs exceed %d fleet slots", sc.Name, vmCount, slotCap)
+	}
+	for _, pc := range sc.policies() {
+		if pc.Label == "" || pc.Policy == "" {
+			return fmt.Errorf("scenario %s: policy column missing label or policy", sc.Name)
+		}
+		if !exp.ValidPolicy(pc.Policy) {
+			return fmt.Errorf("scenario %s: column %q names unknown policy %q",
+				sc.Name, pc.Label, pc.Policy)
+		}
+	}
+	return nil
+}
+
+// peakMembers bounds how many of a group's members can coexist. A
+// churn group with both an arrival cadence and a lifetime never holds
+// more than LifetimeHours/ArriveEvery + 1 live members at once (member
+// i occupies [i·A, i·A+L)), so capacity checks use that bound instead
+// of the full declared population — a year of 12-hourly 48-hour tasks
+// needs 5 slots, not 730.
+func peakMembers(g WorkloadGroup) int {
+	if g.ArriveEvery > 0 && g.LifetimeHours > 0 {
+		if n := g.LifetimeHours/g.ArriveEvery + 1; n < g.Count {
+			return n
+		}
+	}
+	return g.Count
+}
+
+// SimulatedVMs counts the members that actually materialize within the
+// horizon: churn members scheduled to arrive after the run ends never
+// exist. This is the population a Report reflects; TotalVMs is the
+// declared catalog size.
+func (sc Scenario) SimulatedVMs() int {
+	n := 0
+	for _, g := range sc.Groups {
+		for i := 0; i < g.Count; i++ {
+			at := 0
+			if g.ArriveEvery > 0 {
+				at = i * g.ArriveEvery
+			}
+			if at < sc.HorizonHours {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sharedStores builds one concurrent trace store per replicated group,
+// keyed by group index. The stores are shared across every policy cell
+// of a Run — that is the point: all VMs of the group, in all cells,
+// read one memo. Sized to the replayed span plus the timer-scan
+// lookahead; hours beyond fall back to direct evaluation.
+func (sc Scenario) sharedStores() map[int]*trace.Shared {
+	stores := make(map[int]*trace.Shared)
+	horizon := sc.Start + simtime.Hour(sc.HorizonHours) + simtime.HoursPerYear
+	for gi, g := range sc.Groups {
+		if g.Replicated {
+			stores[gi] = trace.NewShared(g.Gen, horizon)
+		}
+	}
+	return stores
+}
+
+// memberGen derives member i's generator from its group.
+func memberGen(g WorkloadGroup, i int) trace.Generator {
+	if g.Replicated {
+		return g.Gen
+	}
+	shift := 0
+	if g.ShiftStepHours != 0 {
+		shift = (i * g.ShiftStepHours) % (simtime.DaysPerWeek * simtime.HoursPerDay)
+	}
+	return trace.Variant(g.Gen, g.Seed+uint64(i), shift)
+}
+
+// materialize builds one policy cell's cluster, its churn schedule and
+// the per-host power-profile overrides. Each cell owns a disjoint
+// cluster (cells run concurrently); shared trace stores are the only
+// state deliberately common to all cells.
+func (sc Scenario) materialize(stores map[int]*trace.Shared) (
+	*cluster.Cluster, []dcsim.Arrival, []dcsim.Departure, map[int]power.Profile) {
+	c := cluster.New()
+	hostID := 0
+	profiles := make(map[int]power.Profile)
+	for _, hc := range sc.Hosts {
+		for i := 0; i < hc.Count; i++ {
+			c.AddHost(cluster.NewHost(hostID, fmt.Sprintf("%s-%03d", hc.Name, i),
+				hc.MemGB, hc.VCPUs, hc.Slots))
+			if hc.Profile != (power.Profile{}) {
+				profiles[hostID] = hc.Profile
+			}
+			hostID++
+		}
+	}
+	var arrivals []dcsim.Arrival
+	var departures []dcsim.Departure
+	vmID := 0
+	for gi, g := range sc.Groups {
+		for i := 0; i < g.Count; i++ {
+			at := sc.Start
+			if g.ArriveEvery > 0 {
+				at += simtime.Hour(i * g.ArriveEvery)
+			}
+			if int(at-sc.Start) >= sc.HorizonHours {
+				continue // would arrive after the run ends
+			}
+			v := cluster.NewVM(vmID, fmt.Sprintf("%s-%03d", g.Name, i),
+				g.Kind, g.MemGB, g.VCPUs, memberGen(g, i))
+			v.TimerDriven = g.TimerDriven
+			if s, ok := stores[gi]; ok {
+				v.SetSharedTrace(s)
+			}
+			vmID++
+			if at > sc.Start {
+				arrivals = append(arrivals, dcsim.Arrival{At: at, VM: v})
+			} else {
+				c.AddVM(v)
+			}
+			if g.LifetimeHours > 0 {
+				departures = append(departures, dcsim.Departure{
+					At: at + simtime.Hour(g.LifetimeHours), VM: v})
+			}
+		}
+	}
+	return c, arrivals, departures, profiles
+}

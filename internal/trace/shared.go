@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"drowsydc/internal/simtime"
+)
+
+// Shared is the concurrent counterpart of CachedGenerator: one memo of a
+// generator's hourly levels that any number of goroutines may read at
+// once. CachedGenerator is single-consumer by design (each cluster.VM
+// owns a private memo); a scenario that replays one archetype trace on
+// hundreds of VMs — possibly spread over concurrently executing
+// experiment cells — would pay the closure-chain evaluation once per VM
+// per hour, or hold hundreds of identical private memos. Shared keeps a
+// single copy.
+//
+// The store is read-mostly and lock-free. Hours are grouped into the
+// same 512-hour chunks as CachedGenerator, but a chunk is computed
+// wholesale on first touch and published through an atomic pointer:
+//
+//   - readers pay one atomic load plus an array index — no locks, no
+//     contention on the steady-state path;
+//   - two goroutines racing on an unpublished chunk both compute it and
+//     one CompareAndSwap wins; the loser discards its copy. Generators
+//     are pure (see Func), so both copies hold identical values and the
+//     race is outcome-free.
+//
+// Published chunks are immutable, which is what makes the concurrent
+// reads safe: unlike CachedGenerator's cell-at-a-time NaN protocol,
+// no goroutine ever observes a half-written chunk.
+type Shared struct {
+	gen Generator
+	// chunks[c] holds hours [c·512, (c+1)·512); nil until computed. The
+	// table is sized at construction: hours beyond it (or negative) fall
+	// back to direct evaluation, preserving exactness at any horizon.
+	chunks []atomic.Pointer[sharedChunk]
+}
+
+type sharedChunk [cachedChunkLen]float64
+
+// NewShared builds a shared store for g covering hours [0, horizon).
+// The horizon only bounds the memoized span — Activity stays correct
+// (by falling back to the generator) outside it — so callers size it to
+// the span that is actually replayed, e.g. the scenario horizon plus
+// the timer-scan lookahead.
+func NewShared(g Generator, horizon simtime.Hour) *Shared {
+	n := 0
+	if horizon > 0 {
+		n = (int(horizon) + cachedChunkLen - 1) >> cachedChunkBits
+	}
+	return &Shared{gen: g, chunks: make([]atomic.Pointer[sharedChunk], n)}
+}
+
+// Name returns the wrapped generator's name.
+func (s *Shared) Name() string { return s.gen.Name }
+
+// Gen returns the wrapped generator (VM construction needs it so the
+// VM's reported workload matches the store it reads from).
+func (s *Shared) Gen() Generator { return s.gen }
+
+// Activity returns the activity level for hour h. Within the horizon it
+// is served from the shared memo (computing the enclosing chunk on
+// first touch); outside it delegates to the generator, which yields
+// bit-identical levels since generators are pure. Safe for concurrent
+// use.
+func (s *Shared) Activity(h simtime.Hour) float64 {
+	if h < 0 {
+		return s.gen.Activity(h)
+	}
+	ci := int(h >> cachedChunkBits)
+	if ci >= len(s.chunks) {
+		return s.gen.Activity(h)
+	}
+	c := s.chunks[ci].Load()
+	if c == nil {
+		c = s.fill(ci)
+	}
+	return c[int(h)&cachedChunkMask]
+}
+
+// fill computes chunk ci and publishes it, returning whichever copy won
+// the publication race.
+func (s *Shared) fill(ci int) *sharedChunk {
+	c := new(sharedChunk)
+	base := simtime.Hour(ci << cachedChunkBits)
+	for i := range c {
+		c[i] = s.gen.Activity(base + simtime.Hour(i))
+	}
+	if s.chunks[ci].CompareAndSwap(nil, c) {
+		return c
+	}
+	return s.chunks[ci].Load()
+}
+
+// MemoizedChunks reports how many chunks have been computed (test and
+// reporting introspection; the value may be stale under concurrency).
+func (s *Shared) MemoizedChunks() int {
+	n := 0
+	for i := range s.chunks {
+		if s.chunks[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}

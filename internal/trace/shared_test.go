@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"drowsydc/internal/simtime"
+)
+
+// TestSharedMatchesGenerator checks the shared store against direct
+// evaluation across the horizon boundary and negative hours.
+func TestSharedMatchesGenerator(t *testing.T) {
+	for _, g := range TableII() {
+		s := NewShared(g, 2*cachedChunkLen)
+		for _, h := range []simtime.Hour{0, 1, 100, cachedChunkLen - 1, cachedChunkLen,
+			2*cachedChunkLen - 1, 2 * cachedChunkLen, 3*cachedChunkLen + 7} {
+			if got, want := s.Activity(h), g.Activity(h); got != want {
+				t.Fatalf("%s hour %d: shared %v, direct %v", g.Name, h, got, want)
+			}
+		}
+		if n := s.MemoizedChunks(); n != 2 {
+			t.Fatalf("%s: %d chunks memoized, want 2 (beyond-horizon hours must not allocate)", g.Name, n)
+		}
+	}
+}
+
+// TestSharedMatchesCached asserts the shared store is bit-identical to
+// the single-consumer CachedGenerator over a long span.
+func TestSharedMatchesCached(t *testing.T) {
+	g := RealTrace(2)
+	s := NewShared(g, simtime.HoursPerYear)
+	c := Cached(g)
+	for h := simtime.Hour(0); h < simtime.HoursPerYear; h += 3 {
+		if sv, cv := s.Activity(h), c.Activity(h); sv != cv {
+			t.Fatalf("hour %d: shared %v, cached %v", h, sv, cv)
+		}
+	}
+}
+
+// TestSharedConcurrentReaders hammers one store from many goroutines
+// with overlapping hour ranges; run under -race this doubles as the
+// race-cleanliness check, and every reader verifies values against a
+// private reference so publication races must stay outcome-free.
+func TestSharedConcurrentReaders(t *testing.T) {
+	g := ComicStrips(0.5)
+	const span = 4 * cachedChunkLen
+	s := NewShared(g, span)
+	ref := Generate(g, 0, span)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Each reader starts in a different chunk and wraps, so
+			// every chunk sees first-touch races.
+			for i := 0; i < span; i++ {
+				h := simtime.Hour((i + r*cachedChunkLen/2) % span)
+				if got, want := s.Activity(h), ref.At(h); got != want {
+					select {
+					case errs <- fmt.Errorf("hour %d: shared %v, want %v", h, got, want):
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if n := s.MemoizedChunks(); n != span/cachedChunkLen {
+		t.Fatalf("%d chunks memoized, want %d", n, span/cachedChunkLen)
+	}
+}

@@ -1,0 +1,39 @@
+package drowsydc
+
+import (
+	"drowsydc/internal/scenario"
+)
+
+// The scenario-family facade: the public face of internal/scenario.
+// Families compose heterogeneous fleets, long horizons and workload
+// archetypes into named scenarios; see `drowsyctl scenario list` for
+// the catalog and DESIGN.md ("Scenario catalog") for what each family
+// probes.
+
+// ScenarioFamily is a registered scenario constructor (name,
+// description, the claim it probes, and a Build function).
+type ScenarioFamily = scenario.Family
+
+// ScenarioParams scales a family at build time; the zero value selects
+// the family's defaults.
+type ScenarioParams = scenario.Params
+
+// ScenarioOptions tunes execution (worker count, private trace caches).
+// Every option combination yields bit-identical reports.
+type ScenarioOptions = scenario.Options
+
+// ScenarioReport is a scenario run's JSON-serializable outcome: one
+// energy/SLA/latency row per compared policy.
+type ScenarioReport = scenario.Report
+
+// ScenarioPolicyResult is one policy column of a ScenarioReport.
+type ScenarioPolicyResult = scenario.PolicyResult
+
+// ScenarioFamilies returns the registered families sorted by name.
+func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
+
+// RunScenarioFamily builds the named family at the given scale and
+// executes it.
+func RunScenarioFamily(name string, p ScenarioParams, opt ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.RunFamily(name, p, opt)
+}
