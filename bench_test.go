@@ -325,3 +325,24 @@ func BenchmarkScenarioFamily(b *testing.B) {
 	}
 	b.ReportMetric(energy, "drowsy-kWh")
 }
+
+// BenchmarkScenarioSweep runs a three-point grace-time sensitivity
+// sweep (3 points × 4 policies = 12 cells) through the sweep subsystem
+// at reduced scale; CI's 1x pass keeps the sweep axis runnable.
+func BenchmarkScenarioSweep(b *testing.B) {
+	b.ReportAllocs()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenarioSweep("diurnal-office",
+			ScenarioParams{Hosts: 6, HorizonHours: 7 * 24},
+			ScenarioSweep{Param: "grace", Values: []float64{0, 30, 120}},
+			ScenarioOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(rep.Points) - 1
+		spread = rep.Points[last].Report.Policies[0].EnergyKWh -
+			rep.Points[0].Report.Policies[0].EnergyKWh
+	}
+	b.ReportMetric(1000*spread, "grace-spread-Wh")
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drowsydc/internal/scenario"
+)
+
+// The golden-report regression tests byte-diff the CLI's report output
+// against committed fixtures, so report-format drift — a renamed JSON
+// field, a reordered column, an encoder setting — is caught in CI
+// instead of silently breaking downstream tooling. The simulations are
+// fully deterministic (serial == parallel bit-identical), so the
+// fixtures are stable across runs and worker counts on one
+// architecture; the floats are pinned at full precision, so an
+// architecture with different float contraction (e.g. FMA fusing on
+// arm64) may need regenerated fixtures. CI enforces them on amd64.
+//
+// Regenerate after an *intentional* format change with:
+//
+//	go test ./cmd/drowsyctl -run TestGolden -update
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// golden compares got against the named fixture, rewriting it under
+// -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/drowsyctl -run TestGolden -update` to create fixtures)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from fixture\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenScenarioRun pins `drowsyctl scenario run -name always-on-mix
+// -hosts 6 -horizon-days 7` output.
+func TestGoldenScenarioRun(t *testing.T) {
+	var b bytes.Buffer
+	if err := writeScenarioRun(&b, "always-on-mix",
+		scenario.Params{Hosts: 6, HorizonHours: 7 * 24}, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_run.golden", b.Bytes())
+}
+
+// TestGoldenScenarioSweep pins `drowsyctl scenario sweep -family
+// diurnal-office -param grace -values 0,30,120 -hosts 6 -horizon-days 7`
+// output, in both JSON and table form.
+func TestGoldenScenarioSweep(t *testing.T) {
+	p := scenario.Params{Hosts: 6, HorizonHours: 7 * 24}
+	var js bytes.Buffer
+	if err := writeScenarioSweep(&js, "diurnal-office", "grace", "0,30,120", false,
+		p, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_sweep.golden", js.Bytes())
+
+	var tbl bytes.Buffer
+	if err := writeScenarioSweep(&tbl, "diurnal-office", "grace", "0,30,120", true,
+		p, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_sweep_table.golden", tbl.Bytes())
+}

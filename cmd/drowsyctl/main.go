@@ -14,7 +14,10 @@
 //	drowsyctl scaling              # O(n) vs O(n²) comparison (§VII)
 //	drowsyctl all                  # every paper artifact above
 //	drowsyctl scenario list        # scenario-family catalog (beyond-paper workloads)
+//	drowsyctl scenario params      # sweepable-parameter catalog
 //	drowsyctl scenario run -name F # run a family, energy/SLA/latency JSON
+//	drowsyctl scenario sweep -family F -param P -values a,b,c
+//	                               # Figure-3-style sensitivity sweep at fleet scale
 //	drowsyctl bench [-quick]       # benchmark results as JSON (BENCH_*.json)
 package main
 

@@ -1,9 +1,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"drowsydc/internal/scenario"
@@ -11,8 +11,11 @@ import (
 
 // runScenario dispatches the scenario subcommands:
 //
-//	drowsyctl scenario list                 # the registered family catalog
-//	drowsyctl scenario run -name F [flags]  # run a family, JSON on stdout
+//	drowsyctl scenario list                   # the registered family catalog
+//	drowsyctl scenario params                 # the sweepable parameter catalog
+//	drowsyctl scenario run -name F [flags]    # run a family, JSON on stdout
+//	drowsyctl scenario sweep -family F -param P -values a,b,c [flags]
+//	                                          # sensitivity sweep, JSON or table
 func runScenario(args []string) {
 	if len(args) < 1 {
 		scenarioUsage()
@@ -20,9 +23,13 @@ func runScenario(args []string) {
 	}
 	switch args[0] {
 	case "list":
-		listScenarios()
+		listScenarios(os.Stdout)
+	case "params":
+		listSweepParams(os.Stdout)
 	case "run":
 		runScenarioFamily(args[1:])
+	case "sweep":
+		runScenarioSweep(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "drowsyctl scenario: unknown subcommand %q\n", args[0])
 		scenarioUsage()
@@ -31,47 +38,110 @@ func runScenario(args []string) {
 }
 
 func scenarioUsage() {
-	fmt.Fprintln(os.Stderr, `usage: drowsyctl scenario <list|run> [flags]
+	fmt.Fprintln(os.Stderr, `usage: drowsyctl scenario <list|params|run|sweep> [flags]
   list                     show the registered scenario families
+  params                   show the sweepable parameters
   run -name F [-hosts N] [-horizon-days N] [-workers N] [-private-cache]
-                           run family F, per-policy energy/SLA/latency JSON on stdout`)
+                           run family F, per-policy energy/SLA/latency JSON on stdout
+  sweep -family F -param P -values a,b,c [-hosts N] [-horizon-days N]
+        [-workers N] [-private-cache] [-table]
+                           sweep parameter P over the value grid on family F;
+                           JSON on stdout (-table for an aligned text table)`)
 }
 
-func listScenarios() {
+func listScenarios(w io.Writer) {
 	fams := scenario.Families()
-	fmt.Printf("%-18s %6s %6s %9s  %s\n", "family", "hosts", "vms", "horizon", "description")
+	fmt.Fprintf(w, "%-18s %6s %6s %9s  %s\n", "family", "hosts", "vms", "horizon", "description")
 	for _, f := range fams {
 		sc := f.Build(scenario.Params{})
-		fmt.Printf("%-18s %6d %6d %8dd  %s\n",
+		fmt.Fprintf(w, "%-18s %6d %6d %8dd  %s\n",
 			f.Name, sc.TotalHosts(), sc.TotalVMs(), sc.HorizonHours/24, f.Description)
-		fmt.Printf("%-18s %s probes: %s\n", "", "      ", f.Probes)
+		fmt.Fprintf(w, "%-18s %s probes: %s\n", "", "      ", f.Probes)
 	}
+}
+
+func listSweepParams(w io.Writer) {
+	fmt.Fprintf(w, "%-22s %-5s %s\n", "param", "unit", "description")
+	for _, p := range scenario.SweepParams() {
+		fmt.Fprintf(w, "%-22s %-5s %s\n", p.Name, p.Unit, p.Description)
+	}
+}
+
+// scaleFlags registers the family-scaling and execution flags shared by
+// run and sweep.
+func scaleFlags(fs *flag.FlagSet) (hosts, horizonDays, workers *int, private *bool) {
+	hosts = fs.Int("hosts", 0, "override fleet size (0 = family default)")
+	horizonDays = fs.Int("horizon-days", 0, "override horizon in days (0 = family default)")
+	workers = fs.Int("workers", 0, "cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+	private = fs.Bool("private-cache", false, "per-VM trace memos instead of the shared store")
+	return
 }
 
 func runScenarioFamily(args []string) {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
 	name := fs.String("name", "", "family to run (see `drowsyctl scenario list`)")
-	hosts := fs.Int("hosts", 0, "override fleet size (0 = family default)")
-	horizonDays := fs.Int("horizon-days", 0, "override horizon in days (0 = family default)")
-	workers := fs.Int("workers", 0, "policy cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
-	private := fs.Bool("private-cache", false, "per-VM trace memos instead of the shared store")
+	hosts, horizonDays, workers, private := scaleFlags(fs)
 	_ = fs.Parse(args)
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario run: -name is required")
 		scenarioUsage()
 		os.Exit(2)
 	}
-	rep, err := scenario.RunFamily(*name,
+	if err := writeScenarioRun(os.Stdout, *name,
 		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24},
-		scenario.Options{Workers: *workers, PrivateCaches: *private})
+		scenario.Options{Workers: *workers, PrivateCaches: *private}); err != nil {
+		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
+		os.Exit(1)
+	}
+}
+
+// writeScenarioRun runs a family and writes the report JSON to w; the
+// golden-report regression test drives this exact path.
+func writeScenarioRun(w io.Writer, name string, p scenario.Params, opt scenario.Options) error {
+	rep, err := scenario.RunFamily(name, p, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
+		return err
+	}
+	return rep.WriteJSON(w)
+}
+
+func runScenarioSweep(args []string) {
+	fs := flag.NewFlagSet("scenario sweep", flag.ExitOnError)
+	family := fs.String("family", "", "family to sweep (see `drowsyctl scenario list`)")
+	param := fs.String("param", "", "parameter to sweep (see `drowsyctl scenario params`)")
+	valueList := fs.String("values", "", "comma-separated, strictly increasing value grid")
+	table := fs.Bool("table", false, "emit an aligned text table instead of JSON")
+	hosts, horizonDays, workers, private := scaleFlags(fs)
+	_ = fs.Parse(args)
+	if *family == "" || *param == "" || *valueList == "" {
+		fmt.Fprintln(os.Stderr, "drowsyctl scenario sweep: -family, -param and -values are required")
+		scenarioUsage()
+		os.Exit(2)
+	}
+	if err := writeScenarioSweep(os.Stdout, *family, *param, *valueList, *table,
+		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24},
+		scenario.Options{Workers: *workers, PrivateCaches: *private}); err != nil {
+		fmt.Fprintln(os.Stderr, "drowsyctl scenario sweep:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
-		os.Exit(1)
+}
+
+// writeScenarioSweep parses the grid, runs the sweep and writes the
+// report to w; the golden-report regression test drives this exact path.
+func writeScenarioSweep(w io.Writer, family, param, valueList string, table bool,
+	p scenario.Params, opt scenario.Options) error {
+	values, err := scenario.ParseValues(valueList)
+	if err != nil {
+		return err
 	}
+	rep, err := scenario.RunFamilySweep(family, p,
+		scenario.Sweep{Param: param, Values: values}, opt)
+	if err != nil {
+		return err
+	}
+	if table {
+		rep.RenderTable(w)
+		return nil
+	}
+	return rep.WriteJSON(w)
 }

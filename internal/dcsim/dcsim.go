@@ -59,6 +59,11 @@ type Config struct {
 	// UseGrace enables the anti-oscillation grace time (a Drowsy-DC
 	// feature; the Neat+S3 baseline runs without it).
 	UseGrace bool
+	// MaxGraceSeconds overrides the grace-time upper bound in seconds
+	// (0 = the paper's 2-minute bound). Only meaningful with UseGrace;
+	// parameter sweeps vary it to regenerate the paper's grace-time
+	// sensitivity curve at fleet scale.
+	MaxGraceSeconds float64
 	// NaiveResume charges the unoptimized resume latency on packet
 	// wakes (ablation of the paper's quick-resume work).
 	NaiveResume bool
@@ -212,6 +217,9 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 	if cfg.Hours <= 0 {
 		panic("dcsim: non-positive run length")
 	}
+	if cfg.MaxGraceSeconds < 0 {
+		panic("dcsim: negative max grace")
+	}
 	colocN := len(c.VMs()) + len(cfg.Arrivals)
 	if cfg.DisableColocation {
 		// The n×n matrix would be dead quadratic memory per run.
@@ -277,7 +285,11 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 			profile: profile,
 			machine: power.NewMachine(profile, float64(start)),
 			os:      os,
-			monitor: suspend.NewMonitor(suspend.Config{UseGrace: cfg.UseGrace, DecisionOverhead: 1 * simtime.Second}, os),
+			monitor: suspend.NewMonitor(suspend.Config{
+				UseGrace:         cfg.UseGrace,
+				DecisionOverhead: 1 * simtime.Second,
+				MaxGrace:         simtime.Duration(math.Round(cfg.MaxGraceSeconds)),
+			}, os),
 			procOf:  make(map[int]int),
 			timerAt: make(map[int]simtime.Time),
 		}

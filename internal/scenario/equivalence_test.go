@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 )
@@ -34,6 +36,90 @@ func TestSerialParallelIdentical(t *testing.T) {
 		if !reflect.DeepEqual(serial, parallel) {
 			t.Fatalf("%s: serial and parallel reports differ\nserial:   %+v\nparallel: %+v",
 				name, serial, parallel)
+		}
+	}
+}
+
+// TestSweepSerialParallelIdentical compares a sweep run serially
+// against the full worker pool: the flattened point × policy grid must
+// assemble into bit-identical reports regardless of scheduling. The
+// grace axis engages on diurnal-office (management wakes during
+// rebalances), so the points genuinely differ from each other.
+func TestSweepSerialParallelIdentical(t *testing.T) {
+	sc := small("diurnal-office")
+	sc.Sweep = Sweep{Param: "grace", Values: []float64{0, 30, 120}}
+	serial, err := RunSweep(sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(sc, Options{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel sweep reports differ\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestSweepSharedPrivateIdentical compares a sweep with the shared
+// trace store (one memo spanning every point × policy cell) against
+// private per-VM caches.
+func TestSweepSharedPrivateIdentical(t *testing.T) {
+	sc := small("flash-crowd")
+	sc.Sweep = Sweep{Param: "rebalance", Values: []float64{3, 12}}
+	shared, err := RunSweep(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := RunSweep(sc, Options{PrivateCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shared, private) {
+		t.Fatalf("shared-store and private-cache sweep reports differ\nshared:  %+v\nprivate: %+v",
+			shared, private)
+	}
+}
+
+// TestSweepPointMatchesPlainRun pins the sweep to the plain runner: a
+// single-point sweep's embedded report must be byte-identical (as JSON)
+// to the corresponding plain Run report — sweeping must never change
+// the physics, only fan it out.
+func TestSweepPointMatchesPlainRun(t *testing.T) {
+	for _, pt := range []struct {
+		param string
+		value float64
+	}{
+		{"grace", 30},
+		{"rebalance", 3},
+		{"resume-latency", 2.5},
+		{"jitter", 0.4},
+	} {
+		sc := small("diurnal-office")
+		sc.Sweep = Sweep{Param: pt.param, Values: []float64{pt.value}}
+		sweep, err := RunSweep(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sweep.Points) != 1 {
+			t.Fatalf("%s: %d points, want 1", pt.param, len(sweep.Points))
+		}
+		plain, err := Run(sc.At(0), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(sweep.Points[0].Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s=%v: sweep point differs from plain run\nsweep: %s\nplain: %s",
+				pt.param, pt.value, got, want)
 		}
 	}
 }

@@ -1,10 +1,14 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"drowsydc/internal/dcsim"
 	"drowsydc/internal/exp"
+	"drowsydc/internal/power"
+	"drowsydc/internal/trace"
 )
 
 // Options tunes scenario execution, not its physics: every combination
@@ -26,6 +30,10 @@ type PolicyResult struct {
 	Policy            string  `json:"policy"`
 	EnergyKWh         float64 `json:"energy_kwh"`
 	SuspendedFraction float64 `json:"suspended_fraction"`
+	// Suspends counts S3 entries across the fleet — the paper's
+	// Figure-3 oscillation metric, the quantity the grace time exists
+	// to bound.
+	Suspends          int     `json:"suspends"`
 	Migrations        int     `json:"migrations"`
 	Requests          int64   `json:"requests"`
 	SLAFraction       float64 `json:"sla_fraction"`
@@ -46,11 +54,28 @@ type Report struct {
 	Policies     []PolicyResult `json:"policies"`
 }
 
+// WriteJSON writes the indented JSON encoding the CLI emits (shared so
+// the golden-report tests exercise the exact production path).
+func (r *Report) WriteJSON(w io.Writer) error { return writeIndentedJSON(w, r) }
+
+// writeIndentedJSON is the one CLI report encoding: run and sweep
+// reports must never diverge in format.
+func writeIndentedJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // Run validates and executes a scenario: one independent deterministic
 // simulation per policy column, fanned out over the worker pool.
 // Results are bit-identical at any worker count and with or without
-// shared trace stores.
+// shared trace stores. A scenario carrying a sweep axis is rejected —
+// silently ignoring the axis would report one arbitrary grid point as
+// the whole curve; use RunSweep.
 func Run(sc Scenario, opt Options) (*Report, error) {
+	if sc.Sweep.Enabled() {
+		return nil, fmt.Errorf("scenario %s: Run on a scenario with a sweep axis (use RunSweep)", sc.Name)
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,25 +85,43 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	}
 	cols := sc.policies()
 	results := exp.ParMap(opt.Workers, len(cols), func(i int) *dcsim.Result {
-		pc := cols[i]
-		c, arrivals, departures, profiles := sc.materialize(stores)
-		return dcsim.NewRunner(dcsim.Config{
-			HostProfiles:    profiles,
-			Hours:           sc.HorizonHours,
-			StartHour:       sc.Start,
-			EnableSuspend:   pc.Suspend,
-			UseGrace:        pc.Grace,
-			NaiveResume:     pc.NaiveResume,
-			RebalanceEvery:  sc.RebalanceEvery,
-			RequestsPerHour: sc.RequestsPerHour,
-			Arrivals:        arrivals,
-			Departures:      departures,
-			// Scenario reports never read the colocation matrix; its
-			// O(VMs²)-per-hour update would dominate fleet-scale runs.
-			DisableColocation: true,
-		}, c, exp.NewPolicy(pc.Policy)).Run()
+		return runCell(sc, cols[i], stores)
 	})
-	rep := &Report{
+	rep := assemble(sc, cols, results)
+	return &rep, nil
+}
+
+// runCell executes one (scenario, policy column) cell: a fully
+// independent deterministic simulation. Sweeps and plain runs share
+// this path, which is what makes a single-point sweep byte-identical to
+// the corresponding plain run.
+func runCell(sc Scenario, pc PolicyConfig, stores map[int]*trace.Shared) *dcsim.Result {
+	c, arrivals, departures, profiles := sc.materialize(stores)
+	for id, p := range profiles {
+		profiles[id] = sc.Tuning.applyProfile(p)
+	}
+	return dcsim.NewRunner(dcsim.Config{
+		Profile:         sc.Tuning.applyProfile(power.DefaultProfile()),
+		HostProfiles:    profiles,
+		Hours:           sc.HorizonHours,
+		StartHour:       sc.Start,
+		EnableSuspend:   pc.Suspend,
+		UseGrace:        pc.Grace && !sc.Tuning.DisableGrace,
+		MaxGraceSeconds: sc.Tuning.MaxGraceSeconds,
+		NaiveResume:     pc.NaiveResume,
+		RebalanceEvery:  sc.RebalanceEvery,
+		RequestsPerHour: sc.RequestsPerHour,
+		Arrivals:        arrivals,
+		Departures:      departures,
+		// Scenario reports never read the colocation matrix; its
+		// O(VMs²)-per-hour update would dominate fleet-scale runs.
+		DisableColocation: true,
+	}, c, exp.NewPolicy(pc.Policy)).Run()
+}
+
+// assemble folds per-column simulation results into a Report.
+func assemble(sc Scenario, cols []PolicyConfig, results []*dcsim.Result) Report {
+	rep := Report{
 		Scenario:     sc.Name,
 		Description:  sc.Description,
 		Hosts:        sc.TotalHosts(),
@@ -86,10 +129,15 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 		HorizonHours: sc.HorizonHours,
 	}
 	for i, res := range results {
+		suspends := 0
+		for _, n := range res.SuspendCounts {
+			suspends += n
+		}
 		rep.Policies = append(rep.Policies, PolicyResult{
 			Policy:            cols[i].Label,
 			EnergyKWh:         res.EnergyKWh,
 			SuspendedFraction: res.GlobalSuspFrac,
+			Suspends:          suspends,
 			Migrations:        res.Migrations,
 			Requests:          res.Latency.Count(),
 			SLAFraction:       res.Latency.SLAFraction(),
@@ -100,7 +148,7 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			PacketWakes:       res.PacketWakes,
 		})
 	}
-	return rep, nil
+	return rep
 }
 
 // RunFamily looks a family up, builds it at the given scale and runs

@@ -120,6 +120,13 @@ type Scenario struct {
 	RequestsPerHour int
 	// Policies are the comparison columns (nil = DefaultPolicies).
 	Policies []PolicyConfig
+	// Tuning overrides runtime knobs (grace bound, transition latencies,
+	// variant jitter); the zero value changes nothing. Sweep parameters
+	// write these fields point by point.
+	Tuning Tuning
+	// Sweep, when set, names the parameter axis RunSweep fans the
+	// scenario out over. Run rejects a scenario carrying a sweep axis.
+	Sweep Sweep
 }
 
 // TotalHosts sums the host classes.
@@ -215,7 +222,26 @@ func (sc Scenario) Validate() error {
 				sc.Name, pc.Label, pc.Policy)
 		}
 	}
-	return nil
+	t := sc.Tuning
+	for _, l := range []float64{t.MaxGraceSeconds, t.SuspendLatencySeconds,
+		t.ResumeLatencySeconds, t.NaiveResumeLatencySeconds} {
+		if l < 0 {
+			return fmt.Errorf("scenario %s: negative tuning override", sc.Name)
+		}
+	}
+	if t.JitterSet && (t.JitterAmount < 0 || t.JitterAmount >= 1) {
+		return fmt.Errorf("scenario %s: jitter amount %v outside [0, 1)", sc.Name, t.JitterAmount)
+	}
+	fleet := []power.Profile{power.DefaultProfile()}
+	for _, hc := range sc.Hosts {
+		if hc.Profile != (power.Profile{}) {
+			fleet = append(fleet, hc.Profile)
+		}
+	}
+	if err := t.checkLatencyOverrides(fleet); err != nil {
+		return fmt.Errorf("scenario %s: %v", sc.Name, err)
+	}
+	return sc.validateSweep()
 }
 
 // peakMembers bounds how many of a group's members can coexist. A
@@ -269,8 +295,11 @@ func (sc Scenario) sharedStores() map[int]*trace.Shared {
 	return stores
 }
 
-// memberGen derives member i's generator from its group.
-func memberGen(g WorkloadGroup, i int) trace.Generator {
+// memberGen derives member i's generator from its group. Replicated
+// members replay the archetype exactly; others get a phase-shifted,
+// re-jittered variant whose jitter amplitude the scenario's Tuning may
+// override (the "jitter" sweep parameter).
+func (sc Scenario) memberGen(g WorkloadGroup, i int) trace.Generator {
 	if g.Replicated {
 		return g.Gen
 	}
@@ -278,7 +307,11 @@ func memberGen(g WorkloadGroup, i int) trace.Generator {
 	if g.ShiftStepHours != 0 {
 		shift = (i * g.ShiftStepHours) % (simtime.DaysPerWeek * simtime.HoursPerDay)
 	}
-	return trace.Variant(g.Gen, g.Seed+uint64(i), shift)
+	jitter := trace.VariantJitterAmount
+	if sc.Tuning.JitterSet {
+		jitter = sc.Tuning.JitterAmount
+	}
+	return trace.VariantJitter(g.Gen, g.Seed+uint64(i), shift, jitter)
 }
 
 // materialize builds one policy cell's cluster, its churn schedule and
@@ -313,7 +346,7 @@ func (sc Scenario) materialize(stores map[int]*trace.Shared) (
 				continue // would arrive after the run ends
 			}
 			v := cluster.NewVM(vmID, fmt.Sprintf("%s-%03d", g.Name, i),
-				g.Kind, g.MemGB, g.VCPUs, memberGen(g, i))
+				g.Kind, g.MemGB, g.VCPUs, sc.memberGen(g, i))
 			v.TimerDriven = g.TimerDriven
 			if s, ok := stores[gi]; ok {
 				v.SetSharedTrace(s)

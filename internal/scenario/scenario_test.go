@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"drowsydc/internal/cluster"
 	"drowsydc/internal/simtime"
+	"drowsydc/internal/trace"
 )
 
 // small shrinks a family to test scale.
@@ -107,6 +109,95 @@ func TestRunChurn(t *testing.T) {
 	}
 	if _, err := Run(sc, Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// churnScenario builds a minimal custom scenario around one churn
+// group, for edge-case probing.
+func churnScenario(arriveEvery, lifetime, horizonHours int) Scenario {
+	return Scenario{
+		Name:         "churn-edge",
+		HorizonHours: horizonHours,
+		Hosts:        stdHosts(4),
+		Groups: []WorkloadGroup{
+			{Name: "base", Count: 4, Kind: cluster.KindLLMI, MemGB: 4, VCPUs: 2,
+				Gen: trace.RealTrace(1), ShiftStepHours: 1, Seed: 1},
+			{Name: "task", Count: 20, Kind: cluster.KindSLMU, MemGB: 4, VCPUs: 2,
+				Gen:        trace.Generator{Name: "slmu", Fn: trace.Const(0.8)},
+				Replicated: true, ArriveEvery: arriveEvery, LifetimeHours: lifetime},
+		},
+		RebalanceEvery:  6,
+		RequestsPerHour: 20,
+	}
+}
+
+// TestChurnHandoffSameHour exercises the arrival-hour == departure-hour
+// edge: with ArriveEvery == LifetimeHours, member i+1 arrives in
+// exactly the hour member i departs. The runner processes arrivals
+// before departures, so both briefly coexist; capacity validation must
+// charge that peak and the run must place every materialized member.
+func TestChurnHandoffSameHour(t *testing.T) {
+	sc := churnScenario(12, 12, 5*simtime.HoursPerDay)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, arrivals, departures, _ := sc.materialize(nil)
+	coincide := false
+	for _, a := range arrivals {
+		for _, d := range departures {
+			if a.At == d.At {
+				coincide = true
+			}
+		}
+	}
+	if !coincide {
+		t.Fatal("test premise broken: no arrival coincides with a departure")
+	}
+	rep, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VMs != sc.SimulatedVMs() {
+		t.Fatalf("report VMs %d, want %d", rep.VMs, sc.SimulatedVMs())
+	}
+}
+
+// TestChurnDeparturePastHorizon exercises members whose departure falls
+// at or beyond the run's end: the simulation must complete with the
+// members still alive, not stall waiting for the termination.
+func TestChurnDeparturePastHorizon(t *testing.T) {
+	// Lifetime far beyond the horizon: every materialized member
+	// outlives the run.
+	sc := churnScenario(12, 10000, 3*simtime.HoursPerDay)
+	_, _, departures, _ := sc.materialize(nil)
+	if len(departures) == 0 {
+		t.Fatal("test premise broken: no departures scheduled")
+	}
+	for _, d := range departures {
+		if int(d.At-sc.Start) < sc.HorizonHours {
+			t.Fatalf("test premise broken: departure at %d inside %dh horizon", d.At, sc.HorizonHours)
+		}
+	}
+	if _, err := Run(sc, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// The boundary case: departure exactly at the final hour's end,
+	// one hour past the last simulated hour.
+	sc = churnScenario(24, 48, 3*simtime.HoursPerDay)
+	if _, err := Run(sc, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroPopulationGroupRejected pins the validation error for an
+// empty workload group: a silent zero-member group would make reports
+// quietly meaningless.
+func TestZeroPopulationGroupRejected(t *testing.T) {
+	sc := churnScenario(12, 12, simtime.HoursPerDay)
+	sc.Groups[1].Count = 0
+	err := sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), "task") {
+		t.Fatalf("zero-population group accepted (err=%v)", err)
 	}
 }
 

@@ -1,0 +1,310 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drowsydc/internal/power"
+)
+
+// sweepBase is a tiny runnable scenario for sweep tests.
+func sweepBase() Scenario { return small("diurnal-office") }
+
+// TestSweepValidation covers the rejection paths: unknown parameter,
+// empty grid, non-monotone and duplicate values, out-of-range values.
+// Every error must be descriptive enough to name the offence.
+func TestSweepValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		sweep   Sweep
+		wantErr string
+	}{
+		{"unknown param", Sweep{Param: "warp-factor", Values: []float64{1}}, "unknown sweep parameter"},
+		{"empty grid", Sweep{Param: "grace", Values: nil}, "empty value grid"},
+		{"values without param", Sweep{Values: []float64{1, 2}}, "no parameter name"},
+		{"duplicate values", Sweep{Param: "grace", Values: []float64{30, 30}}, "strictly increasing"},
+		{"decreasing values", Sweep{Param: "grace", Values: []float64{120, 30}}, "strictly increasing"},
+		{"grace below min", Sweep{Param: "grace", Values: []float64{1}}, "grace must be"},
+		{"grace above max", Sweep{Param: "grace", Values: []float64{7200}}, "grace must be"},
+		{"fractional rebalance", Sweep{Param: "rebalance", Values: []float64{1.5}}, "whole number"},
+		{"zero rebalance", Sweep{Param: "rebalance", Values: []float64{0}}, "rebalance must be"},
+		{"negative latency", Sweep{Param: "resume-latency", Values: []float64{-1}}, "resume-latency must be"},
+		{"jitter at one", Sweep{Param: "jitter", Values: []float64{1}}, "jitter must be"},
+		{"NaN value", Sweep{Param: "grace", Values: []float64{math.NaN()}}, "finite"},
+		{"Inf value", Sweep{Param: "grace", Values: []float64{math.Inf(1)}}, "finite"},
+	}
+	for _, c := range cases {
+		sc := sweepBase()
+		sc.Sweep = c.sweep
+		err := sc.Validate()
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+		if _, err := RunSweep(sc, Options{}); err == nil {
+			t.Fatalf("%s: RunSweep accepted what Validate rejects", c.name)
+		}
+	}
+}
+
+// TestNaiveResumeBelowOptimizedRejected pins the latency-pair guard: a
+// naive-resume value faster than the fleet's optimized resume must
+// error out at the offending grid point instead of silently changing
+// the optimized latency of every policy column (which would conflate
+// two knobs on one axis).
+func TestNaiveResumeBelowOptimizedRejected(t *testing.T) {
+	sc := sweepBase() // std hosts: default profile, resume 0.8 s
+	sc.Sweep = Sweep{Param: "naive-resume-latency", Values: []float64{0.5, 2}}
+	_, err := RunSweep(sc, Options{})
+	if err == nil || !strings.Contains(err.Error(), "naive-resume-latency 0.5 below") {
+		t.Fatalf("inverted latency pair accepted (err=%v)", err)
+	}
+	// The same override is also rejected on a plain run via Tuning.
+	sc = sweepBase()
+	sc.Tuning.NaiveResumeLatencySeconds = 0.5
+	if err := sc.Validate(); err == nil {
+		t.Fatal("Validate accepted an inverted latency pair")
+	}
+	// Sweeping the optimized resume above the naive bound stays legal:
+	// the naive bound lifts to match (documented in DESIGN.md).
+	p := Tuning{ResumeLatencySeconds: 5}.applyProfile(power.DefaultProfile())
+	if p.NaiveResumeLatency != 5 {
+		t.Fatalf("naive latency %v, want lifted to 5", p.NaiveResumeLatency)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsSweepAxis pins the Run/RunSweep split: silently
+// ignoring a sweep axis would report one arbitrary point as the curve.
+func TestRunRejectsSweepAxis(t *testing.T) {
+	sc := sweepBase()
+	sc.Sweep = Sweep{Param: "grace", Values: []float64{30, 120}}
+	if _, err := Run(sc, Options{}); err == nil || !strings.Contains(err.Error(), "RunSweep") {
+		t.Fatalf("Run accepted a sweep-carrying scenario (err=%v)", err)
+	}
+	sc.Sweep = Sweep{}
+	if _, err := RunSweep(sc, Options{}); err == nil || !strings.Contains(err.Error(), "use Run") {
+		t.Fatalf("RunSweep accepted a sweep-less scenario (err=%v)", err)
+	}
+}
+
+// TestSweepParamRegistry checks the catalog shape the CLI relies on:
+// the issue's parameter set present, complete metadata, Check/Apply
+// consistency on an in-range value.
+func TestSweepParamRegistry(t *testing.T) {
+	want := []string{"grace", "jitter", "naive-resume-latency", "rebalance",
+		"resume-latency", "suspend-latency"}
+	params := SweepParams()
+	var names []string
+	for _, p := range params {
+		names = append(names, p.Name)
+		if p.Unit == "" || p.Description == "" {
+			t.Fatalf("param %q missing unit or description", p.Name)
+		}
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registered params %v, want %v", names, want)
+	}
+	if _, ok := LookupParam("grace"); !ok {
+		t.Fatal("LookupParam(grace) failed")
+	}
+	if _, ok := LookupParam("nope"); ok {
+		t.Fatal("LookupParam(nope) succeeded")
+	}
+}
+
+// TestSweepEveryParamRuns applies one in-range value of every
+// registered parameter to a tiny scenario and runs the single-point
+// sweep: the registry contract is that any family can sweep any
+// registered knob without bespoke code.
+func TestSweepEveryParamRuns(t *testing.T) {
+	inRange := map[string]float64{
+		"grace":                30,
+		"jitter":               0.05,
+		"naive-resume-latency": 2,
+		"rebalance":            12,
+		"resume-latency":       1.5,
+		"suspend-latency":      4,
+	}
+	for _, p := range SweepParams() {
+		v, ok := inRange[p.Name]
+		if !ok {
+			t.Fatalf("no in-range sample for new param %q; extend this test", p.Name)
+		}
+		sc := sweepBase()
+		sc.HorizonHours = 2 * 24
+		sc.Sweep = Sweep{Param: p.Name, Values: []float64{v}}
+		rep, err := RunSweep(sc, Options{})
+		if err != nil {
+			t.Fatalf("param %q: %v", p.Name, err)
+		}
+		if rep.Param != p.Name || rep.Unit != p.Unit {
+			t.Fatalf("param %q: report axis metadata %q/%q", p.Name, rep.Param, rep.Unit)
+		}
+		if len(rep.Points) != 1 || rep.Points[0].Value != v {
+			t.Fatalf("param %q: bad points %+v", p.Name, rep.Points)
+		}
+	}
+}
+
+// TestSweepAxisOrderAndEffect runs a real multi-point sweep and checks
+// the axis order is preserved and the swept parameter genuinely reaches
+// the simulation: sweeping the consolidation period must change the
+// migration count between the extreme points.
+func TestSweepAxisOrderAndEffect(t *testing.T) {
+	sc := sweepBase()
+	sc.Sweep = Sweep{Param: "rebalance", Values: []float64{1, 6, 48}}
+	rep, err := RunSweep(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(rep.Points))
+	}
+	for i, pt := range rep.Points {
+		if pt.Value != sc.Sweep.Values[i] {
+			t.Fatalf("point %d: value %v, want %v", i, pt.Value, sc.Sweep.Values[i])
+		}
+		if len(pt.Report.Policies) != len(DefaultPolicies()) {
+			t.Fatalf("point %d: %d policy rows", i, len(pt.Report.Policies))
+		}
+	}
+	hourly := rep.Points[0].Report.Policies[0]
+	biDaily := rep.Points[2].Report.Policies[0]
+	if hourly.Migrations == biDaily.Migrations && hourly.EnergyKWh == biDaily.EnergyKWh {
+		t.Fatalf("rebalance 1h and 48h produced identical results (%+v); the knob is not plumbed",
+			hourly)
+	}
+}
+
+// TestSweepGraceCurveMonotoneKnob checks the tentpole's headline axis:
+// longer grace bounds keep resumed hosts awake longer, so drowsy energy
+// must not decrease as the grace bound grows (the 0-point disables
+// grace entirely).
+func TestSweepGraceCurveMonotoneKnob(t *testing.T) {
+	sc := sweepBase()
+	sc.Sweep = Sweep{Param: "grace", Values: []float64{0, 120, 3600}}
+	rep, err := RunSweep(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, pt := range rep.Points {
+		e := pt.Report.Policies[0].EnergyKWh
+		if i > 0 && e < prev {
+			t.Fatalf("grace %v: drowsy energy %v below previous point %v; grace should only defer suspends",
+				pt.Value, e, prev)
+		}
+		prev = e
+	}
+	if rep.Points[0].Report.Policies[0].EnergyKWh == rep.Points[2].Report.Policies[0].EnergyKWh {
+		t.Fatal("grace 0 and 3600 produced identical energy; the knob is not plumbed")
+	}
+}
+
+// TestSweepAt checks point derivation: the axis is cleared, the knob is
+// written, the base scenario is untouched.
+func TestSweepAt(t *testing.T) {
+	sc := sweepBase()
+	sc.Sweep = Sweep{Param: "grace", Values: []float64{0, 45}}
+	p0 := sc.At(0)
+	if !p0.Tuning.DisableGrace {
+		t.Fatal("grace=0 point did not disable grace")
+	}
+	p1 := sc.At(1)
+	if p1.Tuning.MaxGraceSeconds != 45 || p1.Tuning.DisableGrace {
+		t.Fatalf("grace=45 point tuning %+v", p1.Tuning)
+	}
+	if p0.Sweep.Enabled() || p1.Sweep.Enabled() {
+		t.Fatal("point scenarios still carry the sweep axis")
+	}
+	if sc.Tuning != (Tuning{}) {
+		t.Fatalf("At mutated the base scenario: %+v", sc.Tuning)
+	}
+}
+
+// TestParseValues covers the grid parser's accept and reject paths.
+func TestParseValues(t *testing.T) {
+	got, err := ParseValues(" 0, 2.5 ,120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0, 2.5, 120}) {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "  ", "1,,2", "1,abc", "1,2,", "NaN", "Inf", "-Inf", "0x0,1"} {
+		if v, err := ParseValues(bad); err == nil {
+			t.Fatalf("ParseValues(%q) accepted: %v", bad, v)
+		}
+	}
+}
+
+// FuzzParseValues asserts the parser never panics and that accepted
+// output is exactly one finite value per comma-separated element.
+func FuzzParseValues(f *testing.F) {
+	for _, seed := range []string{"", "1", "0,5,120", "1,,2", "a,b", "1e308,1e308",
+		"NaN", "-1.5, 2", strings.Repeat("1,", 100) + "1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		values, err := ParseValues(s)
+		if err != nil {
+			return
+		}
+		if len(values) == 0 {
+			t.Fatalf("ParseValues(%q) accepted an empty grid", s)
+		}
+		if want := strings.Count(s, ",") + 1; len(values) != want {
+			t.Fatalf("ParseValues(%q) returned %d values for %d elements", s, len(values), want)
+		}
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseValues(%q) accepted non-finite %v", s, v)
+			}
+		}
+	})
+}
+
+// TestRunFamilySweepErrors covers the facade's error paths.
+func TestRunFamilySweepErrors(t *testing.T) {
+	sw := Sweep{Param: "grace", Values: []float64{30}}
+	if _, err := RunFamilySweep("no-such-family", Params{}, sw, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "no-such-family") {
+		t.Fatalf("unknown family: %v", err)
+	}
+	if _, err := RunFamilySweep("always-on-mix", Params{Hosts: -1}, sw, Options{}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+// TestRenderTable smoke-checks the text rendering: axis header, one row
+// per point, every policy column present.
+func TestRenderTable(t *testing.T) {
+	sc := sweepBase()
+	sc.HorizonHours = 2 * 24
+	sc.Sweep = Sweep{Param: "rebalance", Values: []float64{6, 24}}
+	rep, err := RunSweep(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	rep.RenderTable(&b)
+	out := b.String()
+	if !strings.Contains(out, "sweep over rebalance (h)") {
+		t.Fatalf("missing axis header:\n%s", out)
+	}
+	if got, want := strings.Count(out, "\n"), 2+len(rep.Points); got != want {
+		t.Fatalf("%d lines, want %d:\n%s", got, want, out)
+	}
+	for _, pc := range DefaultPolicies() {
+		if !strings.Contains(out, pc.Label+"-kWh") {
+			t.Fatalf("missing column for %s:\n%s", pc.Label, out)
+		}
+	}
+}

@@ -40,6 +40,15 @@ const (
 // idle (p = 1), MaxGrace when surely active (p = 0), exponential in
 // between ("exponentially increasing as the IP decreases").
 func GraceTime(p float64) simtime.Duration {
+	return GraceTimeMax(p, MaxGrace)
+}
+
+// GraceTimeMax is GraceTime with a configurable upper bound, the knob
+// the paper's Figure-3-style sensitivity study sweeps. The curve keeps
+// its shape — MinGrace at p = 1, max at p = 0, exponential in between —
+// with max in place of the paper's 2-minute bound. A max below MinGrace
+// clamps to MinGrace (a flat, minimal grace).
+func GraceTimeMax(p float64, max simtime.Duration) simtime.Duration {
 	if math.IsNaN(p) {
 		panic("suspend: NaN probability")
 	}
@@ -49,14 +58,17 @@ func GraceTime(p float64) simtime.Duration {
 	if p > 1 {
 		p = 1
 	}
-	ratio := float64(MaxGrace) / float64(MinGrace)
+	if max < MinGrace {
+		max = MinGrace
+	}
+	ratio := float64(max) / float64(MinGrace)
 	g := float64(MinGrace) * math.Pow(ratio, 1-p)
 	d := simtime.Duration(math.Round(g))
 	if d < MinGrace {
 		d = MinGrace
 	}
-	if d > MaxGrace {
-		d = MaxGrace
+	if d > max {
+		d = max
 	}
 	return d
 }
@@ -71,6 +83,10 @@ type Config struct {
 	// and initiate suspension (process-table walk plus timer scan); the
 	// host stays awake for this long after becoming idle.
 	DecisionOverhead simtime.Duration
+	// MaxGrace overrides the grace-time upper bound (0 = the paper's
+	// MaxGrace). Parameter sweeps vary it to regenerate the grace-time
+	// sensitivity curve.
+	MaxGrace simtime.Duration
 }
 
 // DefaultConfig returns the Drowsy-DC configuration.
@@ -110,6 +126,12 @@ func NewMonitor(cfg Config, os *ossim.OS) *Monitor {
 	if cfg.DecisionOverhead < 0 {
 		panic("suspend: negative decision overhead")
 	}
+	if cfg.MaxGrace < 0 {
+		panic("suspend: negative max grace")
+	}
+	if cfg.MaxGrace == 0 {
+		cfg.MaxGrace = MaxGrace
+	}
 	return &Monitor{cfg: cfg, os: os}
 }
 
@@ -119,7 +141,7 @@ func NewMonitor(cfg Config, os *ossim.OS) *Monitor {
 func (m *Monitor) OnResume(now simtime.Time, hostProbability float64) {
 	m.suspended = false
 	if m.cfg.UseGrace {
-		m.graceUntil = now.Add(GraceTime(hostProbability))
+		m.graceUntil = now.Add(GraceTimeMax(hostProbability, m.cfg.MaxGrace))
 	} else {
 		m.graceUntil = now
 	}

@@ -21,6 +21,55 @@ func TestGraceTimeEndpoints(t *testing.T) {
 	}
 }
 
+func TestGraceTimeMaxBound(t *testing.T) {
+	// The swept bound replaces MaxGrace at the endpoints and the
+	// default bound reproduces GraceTime bit for bit.
+	for _, max := range []simtime.Duration{MinGrace, 30 * simtime.Second, MaxGrace, 3600 * simtime.Second} {
+		if g := GraceTimeMax(0, max); g != max {
+			t.Fatalf("GraceTimeMax(0, %v) = %v", max, g)
+		}
+		if g := GraceTimeMax(1, max); g != MinGrace {
+			t.Fatalf("GraceTimeMax(1, %v) = %v", max, g)
+		}
+		for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			g := GraceTimeMax(p, max)
+			if g < MinGrace || g > max {
+				t.Fatalf("GraceTimeMax(%v, %v) = %v outside [%v, %v]", p, max, g, MinGrace, max)
+			}
+		}
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if GraceTimeMax(p, MaxGrace) != GraceTime(p) {
+			t.Fatalf("GraceTimeMax at the default bound diverges from GraceTime at p=%v", p)
+		}
+	}
+	// A bound below MinGrace clamps to a flat minimal grace.
+	if g := GraceTimeMax(0, 1); g != MinGrace {
+		t.Fatalf("sub-minimum bound: %v, want %v", g, MinGrace)
+	}
+}
+
+func TestMonitorMaxGraceConfig(t *testing.T) {
+	os := ossim.New(0)
+	long := NewMonitor(Config{UseGrace: true, MaxGrace: 3600 * simtime.Second}, os)
+	long.OnResume(0, 0)
+	if got := long.GraceUntil(); got != 3600 {
+		t.Fatalf("max-grace 3600 monitor grace until %v, want 3600", got)
+	}
+	// Zero means the paper default.
+	def := NewMonitor(Config{UseGrace: true}, os)
+	def.OnResume(0, 0)
+	if got := def.GraceUntil(); got != simtime.Time(MaxGrace) {
+		t.Fatalf("default monitor grace until %v, want %v", got, MaxGrace)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative MaxGrace accepted")
+		}
+	}()
+	NewMonitor(Config{MaxGrace: -1}, os)
+}
+
 func TestGraceTimeMonotoneProperty(t *testing.T) {
 	// Property: grace time decreases (weakly) as probability increases.
 	f := func(a, b uint16) bool {

@@ -25,6 +25,37 @@ func TestSharedMatchesGenerator(t *testing.T) {
 	}
 }
 
+// TestSharedFallbackPaths pins the store's out-of-memo behaviour:
+// hours past the horizon delegate to the generator without touching (or
+// allocating) chunks, and a zero- or negative-horizon store is a pure
+// pass-through. These are the paths a scenario hits when the timer scan
+// looks past the sized span.
+func TestSharedFallbackPaths(t *testing.T) {
+	g := RealTrace(3)
+	s := NewShared(g, cachedChunkLen)
+	for _, h := range []simtime.Hour{cachedChunkLen, 10 * cachedChunkLen,
+		simtime.HoursPerYear * 100} {
+		if got, want := s.Activity(h), g.Activity(h); got != want {
+			t.Fatalf("hour %d: shared %v, direct %v", h, got, want)
+		}
+	}
+	if n := s.MemoizedChunks(); n != 0 {
+		t.Fatalf("%d chunks memoized by fallback-only reads, want 0", n)
+	}
+
+	for _, horizon := range []simtime.Hour{0, -24} {
+		empty := NewShared(g, horizon)
+		for _, h := range []simtime.Hour{0, 1, cachedChunkLen} {
+			if got, want := empty.Activity(h), g.Activity(h); got != want {
+				t.Fatalf("horizon %d hour %d: shared %v, direct %v", horizon, h, got, want)
+			}
+		}
+		if n := empty.MemoizedChunks(); n != 0 {
+			t.Fatalf("horizon-%d store memoized %d chunks", horizon, n)
+		}
+	}
+}
+
 // TestSharedMatchesCached asserts the shared store is bit-identical to
 // the single-consumer CachedGenerator over a long span.
 func TestSharedMatchesCached(t *testing.T) {

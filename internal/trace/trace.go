@@ -269,17 +269,32 @@ func Shift(hours int, inner Func) Func {
 	}
 }
 
+// VariantJitterAmount is the default jitter amplitude Variant applies
+// to population members.
+const VariantJitterAmount = 0.15
+
 // Variant derives a population member from a base generator: an extra
 // phase shift plus fresh jitter, so large simulated datacenters get
 // diverse-but-structurally-identical workloads.
 func Variant(g Generator, seed uint64, shiftHours int) Generator {
+	return VariantJitter(g, seed, shiftHours, VariantJitterAmount)
+}
+
+// VariantJitter is Variant with an explicit jitter amplitude in [0, 1)
+// — the knob parameter sweeps vary to measure how much workload
+// irregularity the idleness model tolerates. amount 0 yields a pure
+// phase shift.
+func VariantJitter(g Generator, seed uint64, shiftHours int, amount float64) Generator {
 	fn := g.Fn
 	if shiftHours != 0 {
 		fn = Shift(shiftHours, fn)
 	}
+	if amount > 0 {
+		fn = Jitter(seed, amount, fn)
+	}
 	return Generator{
 		Name: fmt.Sprintf("%s+%dh#%d", g.Name, shiftHours, seed),
-		Fn:   Jitter(seed, 0.15, fn),
+		Fn:   fn,
 	}
 }
 

@@ -29,6 +29,22 @@ type ScenarioReport = scenario.Report
 // ScenarioPolicyResult is one policy column of a ScenarioReport.
 type ScenarioPolicyResult = scenario.PolicyResult
 
+// ScenarioSweep is a parameter-sweep axis: a registered parameter name
+// plus the strictly increasing grid of values to evaluate it at.
+type ScenarioSweep = scenario.Sweep
+
+// ScenarioSweepParam describes one sweepable runtime knob (name, unit,
+// description plus its validation and application hooks).
+type ScenarioSweepParam = scenario.SweepParam
+
+// ScenarioSweepReport is a sweep's outcome: axis metadata plus one full
+// ScenarioReport per grid value, in axis order. It serializes to JSON
+// and renders an aligned text table.
+type ScenarioSweepReport = scenario.SweepReport
+
+// ScenarioSweepPoint is one axis position of a ScenarioSweepReport.
+type ScenarioSweepPoint = scenario.SweepPoint
+
 // ScenarioFamilies returns the registered families sorted by name.
 func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
 
@@ -36,4 +52,18 @@ func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
 // executes it.
 func RunScenarioFamily(name string, p ScenarioParams, opt ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.RunFamily(name, p, opt)
+}
+
+// ScenarioSweepParams returns the registered sweepable parameters
+// sorted by name (grace bound, consolidation period, transition
+// latencies, variant-trace jitter, ...).
+func ScenarioSweepParams() []ScenarioSweepParam { return scenario.SweepParams() }
+
+// RunScenarioSweep builds the named family at the given scale, attaches
+// the sweep axis and executes the family × policy × sweep-point grid —
+// the paper's Figure-3-style sensitivity curves at datacenter scale.
+// Every cell is an independent deterministic simulation; results are
+// bit-identical at any worker count.
+func RunScenarioSweep(name string, p ScenarioParams, sw ScenarioSweep, opt ScenarioOptions) (*ScenarioSweepReport, error) {
+	return scenario.RunFamilySweep(name, p, sw, opt)
 }
