@@ -296,6 +296,24 @@ func BenchmarkFullWeekSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkSubHourlyWeek is BenchmarkFullWeekSimulation at event
+// resolution: the same testbed week with every transition hour
+// simulated at sub-hourly granularity. The ratio between the two is
+// the event layer's overhead (bounded by the acceptance criterion at
+// 5×; transition-free hours still take the O(1) hourly path).
+func BenchmarkSubHourlyWeek(b *testing.B) {
+	b.ReportAllocs()
+	var eventHours int
+	for i := 0; i < b.N; i++ {
+		res := exp.RunTestbedPolicyAt("drowsy-full", 7, true, true, dcsim.ResolutionEvent)
+		if res.EnergyKWh <= 0 {
+			b.Fatal("no energy")
+		}
+		eventHours = res.EventHours
+	}
+	b.ReportMetric(float64(eventHours), "event-hours")
+}
+
 // BenchmarkScenarioFacade exercises the public API end to end.
 func BenchmarkScenarioFacade(b *testing.B) {
 	for i := 0; i < b.N; i++ {

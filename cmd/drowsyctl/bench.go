@@ -32,11 +32,13 @@ func runBench(args []string) {
 	sweepCfg := exp.SimConfig{Hosts: 8, Slots: 4, Days: 14,
 		Fractions: []float64{0.5, 1.0}, RebalanceEvery: 6}
 	scenarioParams := scenario.Params{Hosts: 16, HorizonHours: 30 * 24}
+	subHourlyParams := scenario.Params{Hosts: 16, HorizonHours: 14 * 24}
 	if *quick {
 		scalingSize = 64
 		sweepCfg.Days = 3
 		sweepCfg.Fractions = []float64{1.0}
 		scenarioParams = scenario.Params{Hosts: 8, HorizonHours: 7 * 24}
+		subHourlyParams = scenario.Params{Hosts: 8, HorizonHours: 7 * 24}
 	}
 
 	benches := []struct {
@@ -71,6 +73,20 @@ func runBench(args []string) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rep, err := scenario.RunFamily("flash-crowd", scenarioParams, scenario.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Policies) == 0 || rep.Policies[0].EnergyKWh <= 0 {
+					b.Fatal("no scenario results")
+				}
+			}
+		}},
+		// The sub-hourly event mode's fleet-scale cost, tracked in the
+		// BENCH_*.json trajectory alongside the hourly families.
+		{"scenario-interactive-web", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := scenario.RunFamily("interactive-web", subHourlyParams, scenario.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -50,14 +50,40 @@ func golden(t *testing.T, name string, got []byte) {
 }
 
 // TestGoldenScenarioRun pins `drowsyctl scenario run -name always-on-mix
-// -hosts 6 -horizon-days 7` output.
+// -hosts 6 -horizon-days 7` output. The fixture predates the sub-hourly
+// timeline subsystem, so this doubles as the hourly-default equivalence
+// pin: the new code must reproduce it byte for byte.
 func TestGoldenScenarioRun(t *testing.T) {
 	var b bytes.Buffer
-	if err := writeScenarioRun(&b, "always-on-mix",
+	if err := writeScenarioRun(&b, "always-on-mix", false,
 		scenario.Params{Hosts: 6, HorizonHours: 7 * 24}, scenario.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	golden(t, "scenario_run.golden", b.Bytes())
+}
+
+// TestGoldenScenarioRunTable pins `drowsyctl scenario run -name
+// always-on-mix -hosts 6 -horizon-days 7 -table` output.
+func TestGoldenScenarioRunTable(t *testing.T) {
+	var b bytes.Buffer
+	if err := writeScenarioRun(&b, "always-on-mix", true,
+		scenario.Params{Hosts: 6, HorizonHours: 7 * 24}, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_run_table.golden", b.Bytes())
+}
+
+// TestGoldenScenarioRunSubHourly pins `drowsyctl scenario run -name
+// interactive-web -hosts 6 -horizon-days 7 -table` — the sub-hourly
+// event mode's CLI output, so resolution-dependent drift is caught the
+// same way hourly drift is.
+func TestGoldenScenarioRunSubHourly(t *testing.T) {
+	var b bytes.Buffer
+	if err := writeScenarioRun(&b, "interactive-web", true,
+		scenario.Params{Hosts: 6, HorizonHours: 7 * 24}, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_run_subhourly_table.golden", b.Bytes())
 }
 
 // TestGoldenScenarioSweep pins `drowsyctl scenario sweep -family

@@ -42,9 +42,11 @@ func scenarioUsage() {
   list                     show the registered scenario families
   params                   show the sweepable parameters
   run -name F [-hosts N] [-horizon-days N] [-workers N] [-private-cache]
-                           run family F, per-policy energy/SLA/latency JSON on stdout
+      [-resolution hourly|event] [-table]
+                           run family F, per-policy energy/SLA/latency JSON on
+                           stdout (-table for an aligned text table)
   sweep -family F -param P -values a,b,c [-hosts N] [-horizon-days N]
-        [-workers N] [-private-cache] [-table]
+        [-workers N] [-private-cache] [-resolution hourly|event] [-table]
                            sweep parameter P over the value grid on family F;
                            JSON on stdout (-table for an aligned text table)`)
 }
@@ -69,38 +71,45 @@ func listSweepParams(w io.Writer) {
 
 // scaleFlags registers the family-scaling and execution flags shared by
 // run and sweep.
-func scaleFlags(fs *flag.FlagSet) (hosts, horizonDays, workers *int, private *bool) {
+func scaleFlags(fs *flag.FlagSet) (hosts, horizonDays, workers *int, private *bool, resolution *string) {
 	hosts = fs.Int("hosts", 0, "override fleet size (0 = family default)")
 	horizonDays = fs.Int("horizon-days", 0, "override horizon in days (0 = family default)")
 	workers = fs.Int("workers", 0, "cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	private = fs.Bool("private-cache", false, "per-VM trace memos instead of the shared store")
+	resolution = fs.String("resolution", "",
+		"activity resolution override: hourly or event (empty = family default)")
 	return
 }
 
 func runScenarioFamily(args []string) {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
 	name := fs.String("name", "", "family to run (see `drowsyctl scenario list`)")
-	hosts, horizonDays, workers, private := scaleFlags(fs)
+	table := fs.Bool("table", false, "emit an aligned text table instead of JSON")
+	hosts, horizonDays, workers, private, resolution := scaleFlags(fs)
 	_ = fs.Parse(args)
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario run: -name is required")
 		scenarioUsage()
 		os.Exit(2)
 	}
-	if err := writeScenarioRun(os.Stdout, *name,
-		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24},
+	if err := writeScenarioRun(os.Stdout, *name, *table,
+		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24, Resolution: *resolution},
 		scenario.Options{Workers: *workers, PrivateCaches: *private}); err != nil {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
 		os.Exit(1)
 	}
 }
 
-// writeScenarioRun runs a family and writes the report JSON to w; the
-// golden-report regression test drives this exact path.
-func writeScenarioRun(w io.Writer, name string, p scenario.Params, opt scenario.Options) error {
+// writeScenarioRun runs a family and writes the report (JSON or table)
+// to w; the golden-report regression test drives this exact path.
+func writeScenarioRun(w io.Writer, name string, table bool, p scenario.Params, opt scenario.Options) error {
 	rep, err := scenario.RunFamily(name, p, opt)
 	if err != nil {
 		return err
+	}
+	if table {
+		rep.RenderTable(w)
+		return nil
 	}
 	return rep.WriteJSON(w)
 }
@@ -111,7 +120,7 @@ func runScenarioSweep(args []string) {
 	param := fs.String("param", "", "parameter to sweep (see `drowsyctl scenario params`)")
 	valueList := fs.String("values", "", "comma-separated, strictly increasing value grid")
 	table := fs.Bool("table", false, "emit an aligned text table instead of JSON")
-	hosts, horizonDays, workers, private := scaleFlags(fs)
+	hosts, horizonDays, workers, private, resolution := scaleFlags(fs)
 	_ = fs.Parse(args)
 	if *family == "" || *param == "" || *valueList == "" {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario sweep: -family, -param and -values are required")
@@ -119,7 +128,7 @@ func runScenarioSweep(args []string) {
 		os.Exit(2)
 	}
 	if err := writeScenarioSweep(os.Stdout, *family, *param, *valueList, *table,
-		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24},
+		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24, Resolution: *resolution},
 		scenario.Options{Workers: *workers, PrivateCaches: *private}); err != nil {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario sweep:", err)
 		os.Exit(1)

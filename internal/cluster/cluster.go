@@ -12,6 +12,7 @@ import (
 
 	"drowsydc/internal/core"
 	"drowsydc/internal/simtime"
+	"drowsydc/internal/timeline"
 	"drowsydc/internal/trace"
 )
 
@@ -71,6 +72,20 @@ type VM struct {
 	// store shared by every VM replaying the same archetype trace (see
 	// SetSharedTrace). Checked before cache in Activity.
 	shared *trace.Shared
+	// tlSeed seeds the within-hour burst expansion consumed by the
+	// sub-hourly simulation mode (internal/timeline). It defaults to a
+	// hash of the VM ID; scenario materialization overrides it with a
+	// structure-derived seed so shared and private timeline stores
+	// replay identical bursts.
+	tlSeed    uint64
+	tlSeedSet bool
+	// tl memoizes the VM's burst timelines (lazily built; nil while the
+	// VM has never been queried or when caching is disabled).
+	tl *trace.TimelineMemo
+	// sharedTL, when set, replaces the private timeline memo with a
+	// concurrent store shared by a replicated population (see
+	// SetSharedTimeline).
+	sharedTL *trace.SharedTimeline
 }
 
 // NewVM constructs a VM with a fresh idleness model.
@@ -91,6 +106,8 @@ func (v *VM) SetCaching(on bool) {
 	if !on {
 		v.cache = nil
 		v.shared = nil
+		v.tl = nil
+		v.sharedTL = nil
 	} else if v.cache == nil && v.shared == nil {
 		v.cache = trace.Cached(v.Gen)
 	}
@@ -110,6 +127,62 @@ func (v *VM) SetSharedTrace(s *trace.Shared) {
 	} else if v.cache == nil {
 		v.cache = trace.Cached(v.Gen)
 	}
+}
+
+// TimelineSeed returns the seed of the VM's within-hour burst
+// expansion: the explicitly set one, or a default derived from the VM
+// ID (deterministic, so repeated runs of one cluster construction
+// replay identical bursts).
+func (v *VM) TimelineSeed() uint64 {
+	if v.tlSeedSet {
+		return v.tlSeed
+	}
+	return timeline.MixSeed(0xd40b5eed, uint64(v.ID))
+}
+
+// SetTimelineSeed fixes the VM's burst-expansion seed, dropping any
+// memoized timelines (they would encode the old seed).
+func (v *VM) SetTimelineSeed(seed uint64) {
+	v.tlSeed = seed
+	v.tlSeedSet = true
+	v.tl = nil
+}
+
+// SetSharedTimeline points the VM at a concurrent shared timeline store
+// instead of its private memo (the timeline counterpart of
+// SetSharedTrace, used by replicated workload groups). The store must
+// carry the VM's own timeline seed — the expansion is pure, so the
+// bursts are bit-identical either way, but a mismatched seed would
+// silently replace the workload's within-hour shape. Passing nil
+// restores the private path.
+func (v *VM) SetSharedTimeline(s *trace.SharedTimeline) {
+	if s != nil && s.Seed() != v.TimelineSeed() {
+		panic(fmt.Sprintf("cluster: VM %s timeline seed %#x mismatches shared store seed %#x",
+			v.Name, v.TimelineSeed(), s.Seed()))
+	}
+	v.sharedTL = s
+	if s != nil {
+		v.tl = nil
+	}
+}
+
+// Bursts returns the VM's within-hour burst timeline for hour h: the
+// deterministic expansion of its activity level into request bursts
+// and idle gaps (internal/timeline). Memoized like Activity; with
+// caching disabled (SetCaching(false)) it recomputes the pure expansion
+// on every call, bit-identically.
+func (v *VM) Bursts(h simtime.Hour) []timeline.Burst {
+	if v.sharedTL != nil {
+		return v.sharedTL.Bursts(h)
+	}
+	if v.cache == nil && v.shared == nil {
+		// Caching disabled: stay uncached end to end.
+		return timeline.Expand(v.TimelineSeed(), h, v.Activity(h))
+	}
+	if v.tl == nil {
+		v.tl = trace.NewTimelineMemo(v.TimelineSeed())
+	}
+	return v.tl.Bursts(h, v.Activity(h))
 }
 
 // Activity returns the VM's activity level for the given hour.

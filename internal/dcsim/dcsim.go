@@ -18,6 +18,17 @@
 // happens through the waking module: ahead of time for scheduled dates
 // (timer-driven VMs), or on the first inbound request of an active hour
 // (request-driven VMs), which then pays the resume latency.
+//
+// Config.Resolution refines this: at ResolutionEvent, active hours are
+// deterministically expanded into within-hour request bursts and idle
+// gaps (internal/timeline), and hours containing activity transitions
+// advance the suspending module at event granularity — a host can
+// suspend in a gap of minutes and be packet-woken by the next burst,
+// so grace time, decision overhead and the S3 transition latencies
+// interact at the second scale the paper measures them at. All other
+// hours, and every hour at the ResolutionHourly default, take the O(1)
+// hourly path; the default is bit-identical to the pre-timeline
+// simulator.
 package dcsim
 
 import (
@@ -33,8 +44,51 @@ import (
 	"drowsydc/internal/sim"
 	"drowsydc/internal/simtime"
 	"drowsydc/internal/suspend"
+	"drowsydc/internal/timeline"
 	"drowsydc/internal/waking"
 )
+
+// Resolution selects the temporal granularity of host dynamics.
+type Resolution int
+
+const (
+	// ResolutionHourly is the paper's native model (the default): a VM
+	// with activity above the noise floor pins its host awake for the
+	// whole hour, and suspension is evaluated once per fully idle hour.
+	ResolutionHourly Resolution = iota
+	// ResolutionEvent expands each active hour into a deterministic
+	// within-hour burst timeline (internal/timeline) and advances the
+	// suspending module at event granularity in hours that contain
+	// activity transitions, so grace expiry, resume latency and
+	// decision overhead compete at their true second scale. Hours
+	// without transitions — fully idle, or bursts covering the whole
+	// hour — still take the O(1) hourly path, bounding the overhead.
+	ResolutionEvent
+)
+
+// String names the resolution.
+func (r Resolution) String() string {
+	switch r {
+	case ResolutionHourly:
+		return "hourly"
+	case ResolutionEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("Resolution(%d)", int(r))
+	}
+}
+
+// ParseResolution converts a CLI-facing name into a Resolution.
+func ParseResolution(s string) (Resolution, error) {
+	switch s {
+	case "hourly":
+		return ResolutionHourly, nil
+	case "event":
+		return ResolutionEvent, nil
+	default:
+		return 0, fmt.Errorf("dcsim: unknown resolution %q (hourly, event)", s)
+	}
+}
 
 // hourRecorder is implemented by policies that maintain utilization
 // history (Neat and Drowsy-DC).
@@ -67,6 +121,10 @@ type Config struct {
 	// NaiveResume charges the unoptimized resume latency on packet
 	// wakes (ablation of the paper's quick-resume work).
 	NaiveResume bool
+	// Resolution selects hourly (default) or event-driven sub-hourly
+	// host dynamics. The hourly default is bit-identical to the
+	// pre-timeline simulator.
+	Resolution Resolution
 	// RebalanceEvery is the consolidation period in hours (default 1).
 	RebalanceEvery int
 	// RequestsPerHour scales request sampling for SLA accounting: an
@@ -174,6 +232,11 @@ type Result struct {
 
 	ScheduledWakes uint64
 	PacketWakes    uint64
+
+	// EventHours counts (host, hour) pairs simulated at event
+	// granularity — zero at hourly resolution, and bounded by the
+	// transition hours at event resolution (the overhead diagnostic).
+	EventHours int
 }
 
 // Runner executes one simulation.
@@ -199,6 +262,15 @@ type Runner struct {
 	assignBuf []int
 	snapBuf   map[int]int
 	actBuf    []float64
+	tlBuf     [][]timeline.Burst
+	awakeBuf  []timeline.Burst
+	wakeBuf   []int
+
+	// eventNow, when nonzero, is the within-hour instant the event-mode
+	// walk is processing; onWoL clamps wake times to it because the
+	// engine clock only advances at hour boundaries.
+	eventNow   simtime.Time
+	eventHours int
 }
 
 // NewRunner builds a runner for a cluster whose VMs are already
@@ -219,6 +291,9 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 	}
 	if cfg.MaxGraceSeconds < 0 {
 		panic("dcsim: negative max grace")
+	}
+	if cfg.Resolution != ResolutionHourly && cfg.Resolution != ResolutionEvent {
+		panic(fmt.Sprintf("dcsim: unknown resolution %d", int(cfg.Resolution)))
 	}
 	colocN := len(c.VMs()) + len(cfg.Arrivals)
 	if cfg.DisableColocation {
@@ -313,11 +388,22 @@ func (r *Runner) onWoL(mac netsim.MAC) {
 	if rt.machine.State() != power.StateSuspended && rt.machine.State() != power.StateOff {
 		return // already awake or mid-transition; duplicate WoL
 	}
+	// The wake instant is the engine clock, clamped forward to the
+	// event-mode walk's within-hour cursor (the engine only advances at
+	// hour boundaries) and to the machine's last accounted instant (a
+	// scheduled WoL can land inside the tail of a just-completed
+	// suspension: the host cannot resume before it finished suspending).
 	now := float64(r.engine.Now())
+	if en := float64(r.eventNow); en > now {
+		now = en
+	}
+	if la := rt.machine.LastAccounted(); la > now {
+		now = la
+	}
 	rt.machine.Transition(now, power.StateResuming)
 	rt.machine.Transition(now+rt.profile.ResumeLatency, power.StateActive)
-	rt.resumedAt = r.engine.Now().Add(simtime.Duration(math.Ceil(rt.profile.ResumeLatency)))
-	hr := r.engine.NowHour()
+	rt.resumedAt = simtime.Time(math.Ceil(now + rt.profile.ResumeLatency))
+	hr := simtime.HourOf(simtime.Time(now))
 	rt.monitor.OnResume(rt.resumedAt, rt.host.Probability(hr))
 	r.wm.HostResumed(mac)
 }
@@ -572,6 +658,13 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 
 	state := rt.machine.State()
 	if busyHour {
+		// Sub-hourly mode: hours containing activity transitions are
+		// simulated at event granularity. playHourEvents declines (and
+		// mutates nothing) when the merged bursts cover the whole hour,
+		// in which case the O(1) hourly path below is exact.
+		if r.cfg.Resolution == ResolutionEvent && r.playHourEvents(rt, hr, t0, vms, acts, util) {
+			return
+		}
 		first := firstActive(vms, acts)
 		// The host must be awake. A powered-off (empty → refilled) or
 		// suspended host that was not already resumed by a scheduled
@@ -630,8 +723,18 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 }
 
 // maybeSuspend runs the suspending module at time from and executes the
-// transition when allowed.
+// transition when allowed; the transition must complete within hour hr.
 func (r *Runner) maybeSuspend(rt *hostRT, hr simtime.Hour, from simtime.Time) {
+	r.maybeSuspendUntil(rt, from, hr.End())
+}
+
+// maybeSuspendUntil runs the suspending module at time from, requiring
+// the whole transition to complete strictly before limit — the next
+// known activity instant: the hour boundary in hourly mode (grace
+// spilling past it is re-evaluated next hour), the next burst start in
+// event mode (an in-flight wake aborts a suspension that cannot finish
+// first).
+func (r *Runner) maybeSuspendUntil(rt *hostRT, from, limit simtime.Time) {
 	if !r.cfg.EnableSuspend {
 		return
 	}
@@ -642,9 +745,8 @@ func (r *Runner) maybeSuspend(rt *hostRT, hr simtime.Hour, from simtime.Time) {
 	if g := rt.monitor.GraceUntil(); g > checkAt {
 		checkAt = g
 	}
-	hourEnd := hr.End()
-	if checkAt >= hourEnd {
-		return // grace spills into the next hour; re-evaluated then
+	if checkAt >= limit {
+		return // grace spills past the next activity; re-evaluated then
 	}
 	d := rt.monitor.Check(checkAt)
 	if !d.Suspend {
@@ -652,8 +754,8 @@ func (r *Runner) maybeSuspend(rt *hostRT, hr simtime.Hour, from simtime.Time) {
 	}
 	suspendAt := checkAt.Add(rt.monitor.DecisionOverhead())
 	done := float64(suspendAt) + rt.profile.SuspendLatency
-	if done >= float64(hourEnd) {
-		return // transition would spill past the hour boundary
+	if done >= float64(limit) {
+		return // transition would spill past the next activity
 	}
 	rt.machine.Transition(float64(suspendAt), power.StateSuspending)
 	rt.machine.Transition(done, power.StateSuspended)
@@ -663,6 +765,198 @@ func (r *Runner) maybeSuspend(rt *hostRT, hr simtime.Hour, from simtime.Time) {
 		vms = append(vms, netsim.VMID(v.ID))
 	}
 	r.wm.HostSuspended(netsim.MAC(rt.host.ID), vms, d.WakeAt, d.HasWake)
+}
+
+// playHourEvents simulates one busy hour of a host at event
+// granularity: the floor-active VMs' within-hour burst timelines are
+// merged into the host's awake set, and the suspending module runs in
+// every idle gap, so the grace time, the decision overhead and the
+// suspend/resume latencies compete at their true second scale. It
+// reports false — mutating nothing — when the merged bursts cover the
+// whole hour, in which case the caller's O(1) hourly path is exact;
+// that bound is what keeps sub-hourly runs close to hourly cost on
+// workloads with few transition hours.
+//
+// Modelling choices, chosen to stay consistent with the hourly path:
+// bursts run at full tilt, so the hour's demand is compressed into the
+// awake seconds (work is conserved up to the capacity clamp, and the
+// linear power model then yields the same active-energy integral);
+// sub-floor activity is noise — it neither pins the host awake nor
+// blocks gap suspension, exactly as it cannot keep an idle hour awake;
+// and quanta, model observations and placement stay hourly, because
+// the idleness model's resolution is the hour by design.
+func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vms []*cluster.VM, acts []float64, util float64) bool {
+	r.tlBuf = r.tlBuf[:0]
+	for i, v := range vms {
+		if acts[i] >= core.DefaultNoiseFloor {
+			r.tlBuf = append(r.tlBuf, v.Bursts(hr))
+		}
+	}
+	awake := timeline.Union(r.awakeBuf[:0], r.tlBuf...)
+	r.awakeBuf = awake[:0]
+	if len(awake) == 0 {
+		return false
+	}
+	if awake[0].Start == 0 && awake[0].End == timeline.SecondsPerHour {
+		return false // no within-hour transitions; the hourly path is exact
+	}
+	r.eventHours++
+	defer func() { r.eventNow = 0 }()
+
+	// Bursts run at full tilt: the hour's utilization compresses into
+	// the awake seconds, clamped at capacity.
+	eventUtil := util * float64(timeline.SecondsPerHour) / float64(timeline.BusySeconds(awake))
+	if eventUtil > 1 {
+		eventUtil = 1
+	}
+
+	if cap(r.wakeBuf) < len(vms) {
+		r.wakeBuf = make([]int, len(vms))
+	}
+	wakes := r.wakeBuf[:len(vms)]
+	for i := range wakes {
+		wakes[i] = 0
+	}
+
+	// Head gap: a host still awake from the previous hour (or resumed
+	// by a management or ahead-of-time wake) may suspend before the
+	// first burst.
+	headFrom := t0
+	if rt.resumedAt > headFrom {
+		headFrom = rt.resumedAt
+	}
+	if first := t0.Add(simtime.Duration(awake[0].Start)); headFrom < first {
+		r.maybeSuspendUntil(rt, headFrom, first)
+	}
+
+	hourEnd := hr.End()
+	for k := range awake {
+		s := t0.Add(simtime.Duration(awake[k].Start))
+		e := t0.Add(simtime.Duration(awake[k].End))
+		r.eventNow = s
+		if st := rt.machine.State(); st == power.StateSuspended || st == power.StateOff {
+			// The burst's first request wakes the host (the sub-hourly
+			// form of the hourly path's packet wake), falling back to a
+			// direct manager WoL on a stale mapping or a timer-driven
+			// VM with a missed date.
+			fi := firstBurstIdx(vms, acts, hr, awake[k].Start)
+			if fi >= 0 {
+				r.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(vms[fi].ID)})
+			}
+			if st := rt.machine.State(); st == power.StateSuspended || st == power.StateOff {
+				r.onWoL(netsim.MAC(rt.host.ID))
+			}
+			if fi >= 0 {
+				wakes[fi]++
+			}
+		}
+		from := s
+		if rt.resumedAt > from {
+			from = rt.resumedAt
+		}
+		if from < e {
+			rt.machine.SetUtilization(float64(from), eventUtil)
+			r.setEventProcs(rt, vms, acts, ossim.StateRunning)
+			rt.machine.SetUtilization(float64(e), 0)
+			r.setEventProcs(rt, vms, acts, ossim.StateSleeping)
+		}
+		limit := hourEnd
+		if k+1 < len(awake) {
+			limit = t0.Add(simtime.Duration(awake[k+1].Start))
+		}
+		gapFrom := e
+		if rt.resumedAt > gapFrom {
+			gapFrom = rt.resumedAt
+		}
+		if gapFrom < limit {
+			r.maybeSuspendUntil(rt, gapFrom, limit)
+		}
+	}
+	// Scheduler-quantum accounting keeps the hourly totals: the hour's
+	// quanta land once, exactly as the hourly path books them.
+	for i, v := range vms {
+		if a := acts[i]; a > 0 {
+			rt.os.AddQuanta(rt.procOf[v.ID], int64(a*float64(rt.os.QuantaPerHour())))
+		}
+	}
+	r.recordEventRequests(rt, vms, acts, wakes)
+	return true
+}
+
+// setEventProcs flips the floor-active VMs' processes between running
+// (inside a burst) and sleeping (in a gap), so the suspending module's
+// OS idleness check holds exactly in the gaps. Sub-floor VMs stay
+// sleeping throughout: their noise must not veto suspension, mirroring
+// the idle-hour semantics.
+func (r *Runner) setEventProcs(rt *hostRT, vms []*cluster.VM, acts []float64, st ossim.ProcState) {
+	for i, v := range vms {
+		if acts[i] >= core.DefaultNoiseFloor {
+			rt.os.SetState(rt.procOf[v.ID], st)
+		}
+	}
+}
+
+// firstBurstIdx returns the index of the lowest-ID request-driven
+// floor-active VM with a burst starting at second sec of hour hr, or
+// -1 when only timer-driven bursts start there (their wake is a
+// scheduled date, not a latency-charged packet).
+func firstBurstIdx(vms []*cluster.VM, acts []float64, hr simtime.Hour, sec int) int {
+	best := -1
+	for i, v := range vms {
+		if acts[i] < core.DefaultNoiseFloor || v.TimerDriven {
+			continue
+		}
+		for _, b := range v.Bursts(hr) {
+			if b.Start > sec {
+				break
+			}
+			if b.Start == sec {
+				if best < 0 || v.ID < vms[best].ID {
+					best = i
+				}
+				break
+			}
+		}
+	}
+	return best
+}
+
+// recordEventRequests samples request latencies for a transition hour:
+// each packet wake charges the resume latency to the waking VM's first
+// request of that burst (a host can be woken several times per hour in
+// event mode); all remaining requests pay the base service time. A VM
+// woken more often than its modeled request count still records one
+// request per wake — each wake is, by construction, a real inbound
+// request, and dropping it would make the latency stats disagree with
+// the machine-level PacketWakes counter — so the hour's sample count
+// is max(n, wakes), never less than the hourly model's n.
+func (r *Runner) recordEventRequests(rt *hostRT, vms []*cluster.VM, acts []float64, wakes []int) {
+	penalty := rt.profile.ResumeLatency
+	if r.cfg.NaiveResume {
+		penalty = rt.profile.NaiveResumeLatency
+	}
+	for i, v := range vms {
+		a := acts[i]
+		if a <= 0 || v.TimerDriven {
+			continue
+		}
+		n := int(a * float64(r.cfg.RequestsPerHour))
+		if n < 1 {
+			n = 1
+		}
+		w := wakes[i]
+		if n < w {
+			n = w
+		}
+		lat := r.cfg.ServiceSeconds + penalty
+		for j := 0; j < w; j++ {
+			r.wakeLatency.Record(lat)
+			r.latency.Record(lat)
+		}
+		if rest := n - w; rest > 0 {
+			r.latency.RecordN(r.cfg.ServiceSeconds, rest)
+		}
+	}
 }
 
 // firstActive picks the active VM whose request arrives first this
@@ -752,5 +1046,6 @@ func (r *Runner) collect() *Result {
 		res.GlobalSuspFrac = suspSum / float64(n)
 	}
 	res.ScheduledWakes, res.PacketWakes, _ = r.wm.Stats()
+	res.EventHours = r.eventHours
 	return res
 }

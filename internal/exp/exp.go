@@ -96,11 +96,19 @@ func NewPolicy(name string) cluster.Policy {
 
 // RunTestbedPolicy executes the testbed under one policy configuration.
 func RunTestbedPolicy(policy string, days int, enableSuspend, useGrace bool) *dcsim.Result {
+	return RunTestbedPolicyAt(policy, days, enableSuspend, useGrace, dcsim.ResolutionHourly)
+}
+
+// RunTestbedPolicyAt is RunTestbedPolicy with an explicit activity
+// resolution, so the sub-hourly event mode can be benchmarked on the
+// exact workload the hourly baseline benchmarks run.
+func RunTestbedPolicyAt(policy string, days int, enableSuspend, useGrace bool, res dcsim.Resolution) *dcsim.Result {
 	c := BuildCluster(4, 16, 4, 2, TestbedSpecs())
 	r := dcsim.NewRunner(dcsim.Config{
 		Hours:         days * 24,
 		EnableSuspend: enableSuspend,
 		UseGrace:      useGrace,
+		Resolution:    res,
 	}, c, NewPolicy(policy))
 	return r.Run()
 }

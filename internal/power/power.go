@@ -214,6 +214,13 @@ func (m *Machine) accumulate(now float64) {
 // Finish accounts energy up to the end of the simulation.
 func (m *Machine) Finish(now float64) { m.accumulate(now) }
 
+// LastAccounted returns the instant energy has been integrated up to
+// (the floor for the machine's next transition or sample). Callers
+// whose wake events can race a just-completed suspension — a scheduled
+// WoL firing inside the suspend transition's tail — clamp their resume
+// instant to it instead of tripping the backwards-time panic.
+func (m *Machine) LastAccounted() float64 { return m.since }
+
 // Joules returns the accumulated energy.
 func (m *Machine) Joules() float64 { return m.joules }
 

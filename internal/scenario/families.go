@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"drowsydc/internal/cluster"
+	"drowsydc/internal/dcsim"
 	"drowsydc/internal/power"
 	"drowsydc/internal/simtime"
 	"drowsydc/internal/trace"
@@ -54,6 +55,23 @@ func flashCrowdGen() trace.Generator {
 		Fn: trace.Jitter(0xf1a54, 0.10, trace.Sum(
 			trace.Bell(13, 4, 0.06),
 			trace.DaysOfMonth([]int{14}, trace.HourWindow(18, 22, trace.Const(0.95))),
+		)),
+	}
+}
+
+// interactiveWebGen is an interactive consultation service: daytime
+// request load whose hourly levels stay well under saturation, so at
+// sub-hourly resolution every active hour splinters into request
+// bursts separated by idle gaps of minutes — the regime where the
+// grace time and the resume latency genuinely gate energy, which the
+// whole-hour activity model flattens away.
+func interactiveWebGen(seed uint64) trace.Generator {
+	return trace.Generator{
+		Name: "interactive-web",
+		Fn: trace.Jitter(seed, 0.2, trace.Sum(
+			trace.Bell(11, 5, 0.30),
+			trace.Bell(16, 4, 0.22),
+			trace.Bell(20, 3, 0.10),
 		)),
 	}
 }
@@ -212,6 +230,39 @@ func init() {
 						Gen:         trace.Generator{Name: "slmu-churn", Fn: trace.Const(0.8)},
 						Replicated:  true,
 						ArriveEvery: 12, LifetimeHours: 48},
+				},
+				RebalanceEvery:  6,
+				RequestsPerHour: 50,
+			}
+		},
+	})
+
+	Register(Family{
+		Name:        "interactive-web",
+		Description: "interactive request-driven fleet at sub-hourly event resolution, two weeks",
+		Probes: "second-scale suspend dynamics (§IV, §VI-A-3): within-hour idle gaps make the " +
+			"grace and resume-latency sweep axes visibly monotone instead of flat",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 16)
+			return Scenario{
+				Name:         "interactive-web",
+				Description:  "interactive request-driven fleet at sub-hourly event resolution, two weeks",
+				HorizonHours: defaults(p.HorizonHours, 14*simtime.HoursPerDay),
+				Hosts:        stdHosts(hosts),
+				// The family's point is the event timeline layer; -resolution
+				// (Params.Resolution) can force it back to hourly for A/B runs.
+				Resolution: dcsim.ResolutionEvent,
+				Groups: []WorkloadGroup{
+					{Name: "web", Count: perHosts(hosts, 3, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: interactiveWebGen(0x1a7e), ShiftStepHours: 1,
+						Seed: 0x1a7e},
+					{Name: "api", Count: perHosts(hosts, 1, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.RealTrace(1), ShiftStepHours: 3,
+						Seed: 0xa91},
+					// A replicated tier: exercises the shared timeline
+					// store (all replicas burst in lockstep).
+					{Name: "cdn", Count: perHosts(hosts, 1, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: interactiveWebGen(0xcd11), Replicated: true},
 				},
 				RebalanceEvery:  6,
 				RequestsPerHour: 50,

@@ -14,6 +14,10 @@ type Params struct {
 	Hosts int
 	// HorizonHours overrides the simulated duration.
 	HorizonHours int
+	// Resolution overrides the scenario's activity resolution: "hourly"
+	// or "event" (empty keeps the family's default — which is hourly
+	// for every family except interactive-web).
+	Resolution string
 }
 
 // Family is a registered scenario constructor: the unit new workload

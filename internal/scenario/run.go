@@ -8,7 +8,6 @@ import (
 	"drowsydc/internal/dcsim"
 	"drowsydc/internal/exp"
 	"drowsydc/internal/power"
-	"drowsydc/internal/trace"
 )
 
 // Options tunes scenario execution, not its physics: every combination
@@ -58,6 +57,28 @@ type Report struct {
 // the golden-report tests exercise the exact production path).
 func (r *Report) WriteJSON(w io.Writer) error { return writeIndentedJSON(w, r) }
 
+// RenderTable writes the run as an aligned text table: one row per
+// policy column (the run-report counterpart of SweepReport.RenderTable,
+// which predates it). Energy prints at Wh resolution for the same
+// reason the sweep table does: the suspend-dynamics knobs move energy
+// by watt-hours per event, which kWh rounding would flatten.
+func (r *Report) RenderTable(w io.Writer) {
+	fmt.Fprintf(w, "%s — %d hosts, %d VMs, %d h\n", r.Scenario, r.Hosts, r.VMs, r.HorizonHours)
+	polW := 8
+	for _, pr := range r.Policies {
+		if n := len(pr.Policy); n > polW {
+			polW = n
+		}
+	}
+	fmt.Fprintf(w, "%*s  %11s %6s %8s %6s %7s %7s %7s\n",
+		polW, "policy", "energy-kWh", "susp%", "suspends", "migr", "SLA%", "p99-s", "wake-s")
+	for _, pr := range r.Policies {
+		fmt.Fprintf(w, "%*s  %11.3f %6.2f %8d %6d %7.2f %7.3f %7.3f\n",
+			polW, pr.Policy, pr.EnergyKWh, 100*pr.SuspendedFraction, pr.Suspends,
+			pr.Migrations, 100*pr.SLAFraction, pr.P99LatencySeconds, pr.WorstWakeSeconds)
+	}
+}
+
 // writeIndentedJSON is the one CLI report encoding: run and sweep
 // reports must never diverge in format.
 func writeIndentedJSON(w io.Writer, v any) error {
@@ -81,7 +102,7 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	}
 	stores := sc.sharedStores()
 	if opt.PrivateCaches {
-		stores = nil
+		stores = runStores{}
 	}
 	cols := sc.policies()
 	results := exp.ParMap(opt.Workers, len(cols), func(i int) *dcsim.Result {
@@ -95,7 +116,7 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 // independent deterministic simulation. Sweeps and plain runs share
 // this path, which is what makes a single-point sweep byte-identical to
 // the corresponding plain run.
-func runCell(sc Scenario, pc PolicyConfig, stores map[int]*trace.Shared) *dcsim.Result {
+func runCell(sc Scenario, pc PolicyConfig, stores runStores) *dcsim.Result {
 	c, arrivals, departures, profiles := sc.materialize(stores)
 	for id, p := range profiles {
 		profiles[id] = sc.Tuning.applyProfile(p)
@@ -109,6 +130,7 @@ func runCell(sc Scenario, pc PolicyConfig, stores map[int]*trace.Shared) *dcsim.
 		UseGrace:        pc.Grace && !sc.Tuning.DisableGrace,
 		MaxGraceSeconds: sc.Tuning.MaxGraceSeconds,
 		NaiveResume:     pc.NaiveResume,
+		Resolution:      sc.Resolution,
 		RebalanceEvery:  sc.RebalanceEvery,
 		RequestsPerHour: sc.RequestsPerHour,
 		Arrivals:        arrivals,
@@ -164,5 +186,23 @@ func RunFamily(name string, p Params, opt Options) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown family %q (see `drowsyctl scenario list`)", name)
 	}
-	return Run(f.Build(p), opt)
+	sc := f.Build(p)
+	if err := applyResolution(&sc, p.Resolution); err != nil {
+		return nil, err
+	}
+	return Run(sc, opt)
+}
+
+// applyResolution applies a Params-level resolution override ("" keeps
+// the family's default).
+func applyResolution(sc *Scenario, s string) error {
+	if s == "" {
+		return nil
+	}
+	res, err := dcsim.ParseResolution(s)
+	if err != nil {
+		return err
+	}
+	sc.Resolution = res
+	return nil
 }

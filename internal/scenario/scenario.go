@@ -8,6 +8,7 @@ import (
 	"drowsydc/internal/exp"
 	"drowsydc/internal/power"
 	"drowsydc/internal/simtime"
+	"drowsydc/internal/timeline"
 	"drowsydc/internal/trace"
 )
 
@@ -120,6 +121,12 @@ type Scenario struct {
 	RequestsPerHour int
 	// Policies are the comparison columns (nil = DefaultPolicies).
 	Policies []PolicyConfig
+	// Resolution selects hourly (default) or event-driven sub-hourly
+	// host dynamics (dcsim.ResolutionEvent): active hours expand into
+	// deterministic within-hour bursts, so the grace and latency knobs
+	// act at their true second scale. The hourly default reproduces
+	// pre-timeline results bit for bit.
+	Resolution dcsim.Resolution
 	// Tuning overrides runtime knobs (grace bound, transition latencies,
 	// variant jitter); the zero value changes nothing. Sweep parameters
 	// write these fields point by point.
@@ -222,6 +229,17 @@ func (sc Scenario) Validate() error {
 				sc.Name, pc.Label, pc.Policy)
 		}
 	}
+	if sc.Resolution != dcsim.ResolutionHourly && sc.Resolution != dcsim.ResolutionEvent {
+		return fmt.Errorf("scenario %s: unknown resolution %d", sc.Name, int(sc.Resolution))
+	}
+	// Sweep-grid range checks run before any tuning consistency check:
+	// a malformed grid value (non-finite, negative, out of range) must
+	// surface as a grid error naming the offending index, not as a
+	// downstream pair-consistency complaint about a value the grid
+	// never legitimately carried.
+	if err := sc.validateSweep(); err != nil {
+		return err
+	}
 	t := sc.Tuning
 	for _, l := range []float64{t.MaxGraceSeconds, t.SuspendLatencySeconds,
 		t.ResumeLatencySeconds, t.NaiveResumeLatencySeconds} {
@@ -241,7 +259,7 @@ func (sc Scenario) Validate() error {
 	if err := t.checkLatencyOverrides(fleet); err != nil {
 		return fmt.Errorf("scenario %s: %v", sc.Name, err)
 	}
-	return sc.validateSweep()
+	return nil
 }
 
 // peakMembers bounds how many of a group's members can coexist. A
@@ -279,20 +297,55 @@ func (sc Scenario) SimulatedVMs() int {
 	return n
 }
 
+// runStores bundles the concurrent memos shared across every policy
+// cell of a run: one trace store per replicated group and — at
+// sub-hourly resolution — one timeline store on top of each. The zero
+// value means "no sharing" (every VM holds private memos).
+type runStores struct {
+	traces    map[int]*trace.Shared
+	timelines map[int]*trace.SharedTimeline
+}
+
 // sharedStores builds one concurrent trace store per replicated group,
 // keyed by group index. The stores are shared across every policy cell
 // of a Run — that is the point: all VMs of the group, in all cells,
 // read one memo. Sized to the replayed span plus the timer-scan
-// lookahead; hours beyond fall back to direct evaluation.
-func (sc Scenario) sharedStores() map[int]*trace.Shared {
-	stores := make(map[int]*trace.Shared)
+// lookahead; hours beyond fall back to direct evaluation. At event
+// resolution each replicated group additionally gets a shared timeline
+// store (seeded identically to the members' private seeds, so sharing
+// stays invisible in the results).
+func (sc Scenario) sharedStores() runStores {
+	st := runStores{traces: make(map[int]*trace.Shared)}
 	horizon := sc.Start + simtime.Hour(sc.HorizonHours) + simtime.HoursPerYear
+	if sc.Resolution == dcsim.ResolutionEvent {
+		st.timelines = make(map[int]*trace.SharedTimeline)
+	}
 	for gi, g := range sc.Groups {
-		if g.Replicated {
-			stores[gi] = trace.NewShared(g.Gen, horizon)
+		if !g.Replicated {
+			continue
+		}
+		st.traces[gi] = trace.NewShared(g.Gen, horizon)
+		if st.timelines != nil {
+			st.timelines[gi] = trace.NewSharedTimeline(
+				memberTimelineSeed(gi, g, 0), st.traces[gi], horizon)
 		}
 	}
-	return stores
+	return st
+}
+
+// memberTimelineSeed derives member i's within-hour burst seed from
+// structural coordinates only (group index, group seed, member index),
+// never from pointers or execution order — the property that makes
+// shared and private timeline stores replay bit-identical bursts.
+// Replicated members share one seed: identical replicas burst in
+// lockstep, which is both the realistic shape (one load balancer fans
+// the same request stream out) and what lets a single shared store
+// serve the whole population.
+func memberTimelineSeed(gi int, g WorkloadGroup, i int) uint64 {
+	if g.Replicated {
+		i = 0
+	}
+	return timeline.MixSeed(uint64(gi), g.Seed, uint64(i))
 }
 
 // memberGen derives member i's generator from its group. Replicated
@@ -316,9 +369,9 @@ func (sc Scenario) memberGen(g WorkloadGroup, i int) trace.Generator {
 
 // materialize builds one policy cell's cluster, its churn schedule and
 // the per-host power-profile overrides. Each cell owns a disjoint
-// cluster (cells run concurrently); shared trace stores are the only
-// state deliberately common to all cells.
-func (sc Scenario) materialize(stores map[int]*trace.Shared) (
+// cluster (cells run concurrently); shared trace and timeline stores
+// are the only state deliberately common to all cells.
+func (sc Scenario) materialize(st runStores) (
 	*cluster.Cluster, []dcsim.Arrival, []dcsim.Departure, map[int]power.Profile) {
 	c := cluster.New()
 	hostID := 0
@@ -348,8 +401,15 @@ func (sc Scenario) materialize(stores map[int]*trace.Shared) (
 			v := cluster.NewVM(vmID, fmt.Sprintf("%s-%03d", g.Name, i),
 				g.Kind, g.MemGB, g.VCPUs, sc.memberGen(g, i))
 			v.TimerDriven = g.TimerDriven
-			if s, ok := stores[gi]; ok {
+			// The timeline seed is set unconditionally (it is inert at
+			// hourly resolution) so the same scenario produces the same
+			// bursts whether or not stores are shared.
+			v.SetTimelineSeed(memberTimelineSeed(gi, g, i))
+			if s, ok := st.traces[gi]; ok {
 				v.SetSharedTrace(s)
+			}
+			if tl, ok := st.timelines[gi]; ok {
+				v.SetSharedTimeline(tl)
 			}
 			vmID++
 			if at > sc.Start {

@@ -100,7 +100,7 @@ func TestRunSmoke(t *testing.T) {
 // the churn scenario must schedule arrivals and stay runnable.
 func TestRunChurn(t *testing.T) {
 	sc := small("vm-churn")
-	_, arrivals, departures, _ := sc.materialize(nil)
+	_, arrivals, departures, _ := sc.materialize(runStores{})
 	if len(arrivals) == 0 {
 		t.Fatal("churn family scheduled no arrivals")
 	}
@@ -141,7 +141,7 @@ func TestChurnHandoffSameHour(t *testing.T) {
 	if err := sc.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	_, arrivals, departures, _ := sc.materialize(nil)
+	_, arrivals, departures, _ := sc.materialize(runStores{})
 	coincide := false
 	for _, a := range arrivals {
 		for _, d := range departures {
@@ -169,7 +169,7 @@ func TestChurnDeparturePastHorizon(t *testing.T) {
 	// Lifetime far beyond the horizon: every materialized member
 	// outlives the run.
 	sc := churnScenario(12, 10000, 3*simtime.HoursPerDay)
-	_, _, departures, _ := sc.materialize(nil)
+	_, _, departures, _ := sc.materialize(runStores{})
 	if len(departures) == 0 {
 		t.Fatal("test premise broken: no departures scheduled")
 	}
@@ -266,7 +266,7 @@ func TestValidateChurnUsesPeak(t *testing.T) {
 // must not be counted.
 func TestReportCountsSimulatedVMs(t *testing.T) {
 	sc := small("vm-churn")
-	c, arrivals, _, _ := sc.materialize(nil)
+	c, arrivals, _, _ := sc.materialize(runStores{})
 	materialized := len(c.VMs()) + len(arrivals)
 	if materialized >= sc.TotalVMs() {
 		t.Fatalf("test premise broken: all %d declared VMs materialize at a %dh horizon",

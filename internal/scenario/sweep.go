@@ -217,6 +217,17 @@ func init() {
 		Apply:       func(v float64, sc *Scenario) { sc.Tuning.NaiveResumeLatencySeconds = v },
 	})
 	RegisterParam(SweepParam{
+		Name: "resolution", Unit: "mode",
+		Description: "activity resolution: 0 = hourly, 1 = sub-hourly event timelines",
+		Check: func(v float64) error {
+			if v != 0 && v != 1 {
+				return fmt.Errorf("resolution must be 0 (hourly) or 1 (event timelines), got %v", v)
+			}
+			return nil
+		},
+		Apply: func(v float64, sc *Scenario) { sc.Resolution = dcsim.Resolution(int(v)) },
+	})
+	RegisterParam(SweepParam{
 		Name: "jitter", Unit: "frac",
 		Description: "variant-trace jitter amplitude of non-replicated group members",
 		Check: func(v float64) error {
@@ -262,8 +273,17 @@ func (sc Scenario) validateSweep() error {
 		return fmt.Errorf("scenario %s: sweep over %q has an empty value grid", sc.Name, sw.Param)
 	}
 	for i, v := range sw.Values {
+		// Shape checks name the offending index before anything else:
+		// a NaN or negative grid entry must never survive to the
+		// tuning pair-consistency checks, whose "naive below optimized"
+		// complaint would point away from the actual typo.
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("scenario %s: sweep value %v is not a finite number", sc.Name, v)
+			return fmt.Errorf("scenario %s: sweep value %d over %q is not a finite number (%v)",
+				sc.Name, i, sw.Param, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("scenario %s: sweep value %d over %q is negative (%v)",
+				sc.Name, i, sw.Param, v)
 		}
 		if err := p.Check(v); err != nil {
 			return fmt.Errorf("scenario %s: sweep value %d: %v", sc.Name, i, err)
@@ -376,7 +396,7 @@ func RunSweep(sc Scenario, opt Options) (*SweepReport, error) {
 	cols := sc.policies()
 	stores := sc.sharedStores()
 	if opt.PrivateCaches {
-		stores = nil
+		stores = runStores{}
 	}
 	cells := exp.ParMap(opt.Workers, len(points)*len(cols), func(i int) *dcsim.Result {
 		return runCell(points[i/len(cols)], cols[i%len(cols)], stores)
@@ -409,6 +429,9 @@ func RunFamilySweep(name string, p Params, sw Sweep, opt Options) (*SweepReport,
 		return nil, fmt.Errorf("scenario: unknown family %q (see `drowsyctl scenario list`)", name)
 	}
 	sc := f.Build(p)
+	if err := applyResolution(&sc, p.Resolution); err != nil {
+		return nil, err
+	}
 	sc.Sweep = sw
 	return RunSweep(sc, opt)
 }

@@ -30,10 +30,15 @@ func TestSweepValidation(t *testing.T) {
 		{"grace above max", Sweep{Param: "grace", Values: []float64{7200}}, "grace must be"},
 		{"fractional rebalance", Sweep{Param: "rebalance", Values: []float64{1.5}}, "whole number"},
 		{"zero rebalance", Sweep{Param: "rebalance", Values: []float64{0}}, "rebalance must be"},
-		{"negative latency", Sweep{Param: "resume-latency", Values: []float64{-1}}, "resume-latency must be"},
+		{"negative latency", Sweep{Param: "resume-latency", Values: []float64{-1}}, "value 0"},
+		{"negative latency names offence", Sweep{Param: "resume-latency", Values: []float64{-1}}, "is negative"},
+		{"out-of-range latency", Sweep{Param: "resume-latency", Values: []float64{100}}, "resume-latency must be"},
 		{"jitter at one", Sweep{Param: "jitter", Values: []float64{1}}, "jitter must be"},
 		{"NaN value", Sweep{Param: "grace", Values: []float64{math.NaN()}}, "finite"},
+		{"NaN value names index", Sweep{Param: "grace", Values: []float64{math.NaN()}}, "value 0"},
 		{"Inf value", Sweep{Param: "grace", Values: []float64{math.Inf(1)}}, "finite"},
+		{"fractional resolution", Sweep{Param: "resolution", Values: []float64{0.5}}, "resolution must be"},
+		{"unknown resolution", Sweep{Param: "resolution", Values: []float64{2}}, "resolution must be"},
 	}
 	for _, c := range cases {
 		sc := sweepBase()
@@ -80,6 +85,30 @@ func TestNaiveResumeBelowOptimizedRejected(t *testing.T) {
 	}
 }
 
+// TestSweepRangeChecksPrecedePairConsistency pins the validation
+// order: a malformed grid value must surface as a grid error naming
+// the offending index even when the scenario also carries an
+// inconsistent latency pair. Previously the pair-consistency check
+// could fire first and complain "naive-resume-latency below the
+// optimized resume", pointing away from the actual grid typo.
+func TestSweepRangeChecksPrecedePairConsistency(t *testing.T) {
+	for _, values := range [][]float64{{math.NaN()}, {-3}} {
+		sc := sweepBase()
+		sc.Tuning.NaiveResumeLatencySeconds = 0.5 // below the 0.8 s optimized resume
+		sc.Sweep = Sweep{Param: "naive-resume-latency", Values: values}
+		err := sc.Validate()
+		if err == nil {
+			t.Fatalf("grid %v accepted", values)
+		}
+		if !strings.Contains(err.Error(), "value 0") {
+			t.Fatalf("grid %v: error %q does not name the offending index", values, err)
+		}
+		if strings.Contains(err.Error(), "below the optimized") {
+			t.Fatalf("grid %v: pair-consistency fired before the range check: %q", values, err)
+		}
+	}
+}
+
 // TestRunRejectsSweepAxis pins the Run/RunSweep split: silently
 // ignoring a sweep axis would report one arbitrary point as the curve.
 func TestRunRejectsSweepAxis(t *testing.T) {
@@ -99,7 +128,7 @@ func TestRunRejectsSweepAxis(t *testing.T) {
 // consistency on an in-range value.
 func TestSweepParamRegistry(t *testing.T) {
 	want := []string{"grace", "jitter", "naive-resume-latency", "rebalance",
-		"resume-latency", "suspend-latency"}
+		"resolution", "resume-latency", "suspend-latency"}
 	params := SweepParams()
 	var names []string
 	for _, p := range params {
@@ -129,6 +158,7 @@ func TestSweepEveryParamRuns(t *testing.T) {
 		"jitter":               0.05,
 		"naive-resume-latency": 2,
 		"rebalance":            12,
+		"resolution":           1,
 		"resume-latency":       1.5,
 		"suspend-latency":      4,
 	}

@@ -1,6 +1,7 @@
 package suspend
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -273,4 +274,16 @@ func BenchmarkCheck(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Check(simtime.Time(10 + i))
 	}
+}
+
+// TestGraceTimeMaxNaNPanics pins the probability guard: a NaN idleness
+// probability is a model bug upstream and must fail loudly rather than
+// silently producing an arbitrary grace.
+func TestGraceTimeMaxNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN probability did not panic")
+		}
+	}()
+	GraceTimeMax(math.NaN(), MaxGrace)
 }

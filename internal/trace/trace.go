@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"drowsydc/internal/simtime"
+	"drowsydc/internal/timeline"
 )
 
 // Func computes the activity level in [0, 1] of a VM for a calendar hour.
@@ -110,18 +111,13 @@ func clamp01(v float64) float64 {
 // Deterministic noise
 //
 // Noise must be a pure function of (seed, hour) so that a Func stays
-// replayable. splitmix64 provides cheap, well-distributed hashing.
-
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// replayable. timeline.SplitMix64 provides cheap, well-distributed
+// hashing — one definition shared with the within-hour burst expansion,
+// so the two layers' determinism contracts cannot drift apart.
 
 // hashUnit maps (seed, hour) to a uniform float in [0, 1).
 func hashUnit(seed uint64, h simtime.Hour) float64 {
-	v := splitmix64(seed ^ splitmix64(uint64(h)))
+	v := timeline.SplitMix64(seed ^ timeline.SplitMix64(uint64(h)))
 	return float64(v>>11) / float64(1<<53)
 }
 

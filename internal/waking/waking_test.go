@@ -179,3 +179,48 @@ func TestStringer(t *testing.T) {
 		t.Fatal("fresh module should not be failed")
 	}
 }
+
+// TestSwitchAccessor pins the packet-path accessor the workload model
+// uses.
+func TestSwitchAccessor(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	if m.Switch() == nil {
+		t.Fatal("nil switch")
+	}
+	m.HostSuspended(4, []netsim.VMID{9}, 0, false)
+	if !m.Switch().Route(netsim.Packet{Dst: 9}) {
+		t.Fatal("switch did not route to the suspended host")
+	}
+}
+
+// TestTakeoverSkipsAlreadyAdoptedHosts covers the takeover dedup: a
+// mapping the survivor already holds (both modules were told about the
+// same suspension) must not be re-registered, or the host would get a
+// duplicate scheduled wake.
+func TestTakeoverSkipsAlreadyAdoptedHosts(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	a := newTestModule("a", e, &woken)
+	b := newTestModule("b", e, &woken)
+	Pair(a, b)
+	// Both modules track host 7; only b tracks host 8.
+	a.HostSuspended(7, []netsim.VMID{1}, 50, true)
+	b.HostSuspended(7, []netsim.VMID{1}, 50, true)
+	b.HostSuspended(8, []netsim.VMID{2}, 60, true)
+	b.Fail()
+	if !a.CheckPeer(10) {
+		t.Fatal("takeover did not happen")
+	}
+	// One wake per host despite the shared mapping: 7 fires once (a's
+	// own schedule; the adopted copy was skipped), 8 fires once.
+	e.RunUntil(100)
+	count := map[netsim.MAC]int{}
+	for _, mac := range woken {
+		count[mac]++
+	}
+	if count[7] != 1 || count[8] != 1 {
+		t.Fatalf("wake counts %v, want one each for hosts 7 and 8", count)
+	}
+}

@@ -1,6 +1,7 @@
 package drowsydc
 
 import (
+	"drowsydc/internal/dcsim"
 	"drowsydc/internal/scenario"
 )
 
@@ -15,8 +16,24 @@ import (
 type ScenarioFamily = scenario.Family
 
 // ScenarioParams scales a family at build time; the zero value selects
-// the family's defaults.
+// the family's defaults. Params.Resolution ("hourly" or "event")
+// overrides the family's activity resolution.
 type ScenarioParams = scenario.Params
+
+// ScenarioResolution selects the temporal granularity of host
+// dynamics: hourly (the paper's native model, the default) or
+// event-driven sub-hourly timelines, where active hours expand into
+// deterministic request bursts and idle gaps so the grace time and the
+// S3 transition latencies compete at their true second scale.
+type ScenarioResolution = dcsim.Resolution
+
+// Available resolutions.
+const (
+	// ResolutionHourly is the whole-hour activity model (default).
+	ResolutionHourly = dcsim.ResolutionHourly
+	// ResolutionEvent is the sub-hourly event-timeline mode.
+	ResolutionEvent = dcsim.ResolutionEvent
+)
 
 // ScenarioOptions tunes execution (worker count, private trace caches).
 // Every option combination yields bit-identical reports.
