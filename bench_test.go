@@ -10,6 +10,7 @@
 package drowsydc
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -18,6 +19,8 @@ import (
 	"drowsydc/internal/drowsy"
 	"drowsydc/internal/exp"
 	"drowsydc/internal/neat"
+	"drowsydc/internal/oasis"
+	"drowsydc/internal/scenario"
 	"drowsydc/internal/simtime"
 	"drowsydc/internal/trace"
 )
@@ -281,6 +284,72 @@ func BenchmarkRebalanceNeat(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Rebalance(c, simtime.Hour(48+i))
+	}
+}
+
+// BenchmarkOasisRebalance measures one Oasis consolidation round at
+// fleet populations with the incremental idle index warm — the steady
+// state inside a simulation, where RecordHour maintains the index
+// hourly. The pruned-pairs metric shows how much of the O(n²) pair
+// structure the popcount bound skips without scoring.
+func BenchmarkOasisRebalance(b *testing.B) {
+	for _, n := range []int{128, 512, 1024} {
+		b.Run(fmt.Sprintf("vms-%d", n), func(b *testing.B) {
+			c := exp.ScalingCluster(n)
+			p := oasis.New(oasis.Options{})
+			hr := simtime.Hour(30 * 24)
+			p.Rebalance(c, hr) // warm the index and settle the placement
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Rebalance(c, hr)
+			}
+			b.StopTimer()
+			if evals := p.PairEvaluations(); evals > 0 {
+				b.ReportMetric(100*float64(p.PrunedPairs())/float64(evals), "pruned-%")
+			}
+		})
+	}
+}
+
+// BenchmarkOasisRebalanceExhaustive is the reference selection at one
+// fleet size, the before side of the speedup recorded in ROADMAP.md.
+func BenchmarkOasisRebalanceExhaustive(b *testing.B) {
+	const n = 512
+	b.Run(fmt.Sprintf("vms-%d", n), func(b *testing.B) {
+		c := exp.ScalingCluster(n)
+		p := oasis.New(oasis.Options{Exhaustive: true})
+		hr := simtime.Hour(30 * 24)
+		p.Rebalance(c, hr)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Rebalance(c, hr)
+		}
+	})
+}
+
+// BenchmarkScenarioHeteroFleetYearOasis is the acceptance measurement:
+// the flagship fleet scenario's Oasis policy column alone, at full
+// scale (224 hosts, ~500 VMs, one year). The exhaustive selection cost
+// ~25 s here and had to be excluded from the family; the criterion for
+// the indexed search is ≤ 5 s.
+func BenchmarkScenarioHeteroFleetYearOasis(b *testing.B) {
+	f, ok := scenario.Lookup("hetero-fleet-year")
+	if !ok {
+		b.Fatal("hetero-fleet-year not registered")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := f.Build(scenario.Params{})
+		sc.Policies = []scenario.PolicyConfig{{Label: "oasis", Policy: "oasis", Suspend: true}}
+		rep, err := scenario.Run(sc, scenario.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Policies[0].EnergyKWh <= 0 {
+			b.Fatal("no oasis energy")
+		}
 	}
 }
 

@@ -72,6 +72,11 @@ type VM struct {
 	// store shared by every VM replaying the same archetype trace (see
 	// SetSharedTrace). Checked before cache in Activity.
 	shared *trace.Shared
+	// variant, when set, replaces the private cache with a
+	// copy-on-write view over a shared base-trace store: the base
+	// memo's chunks plus an O(1) per-hour shift+jitter overlay (see
+	// SetVariantMemo). Checked after shared in Activity.
+	variant *trace.VariantMemo
 	// tlSeed seeds the within-hour burst expansion consumed by the
 	// sub-hourly simulation mode (internal/timeline). It defaults to a
 	// hash of the VM ID; scenario materialization overrides it with a
@@ -106,9 +111,10 @@ func (v *VM) SetCaching(on bool) {
 	if !on {
 		v.cache = nil
 		v.shared = nil
+		v.variant = nil
 		v.tl = nil
 		v.sharedTL = nil
-	} else if v.cache == nil && v.shared == nil {
+	} else if v.cache == nil && v.shared == nil && v.variant == nil {
 		v.cache = trace.Cached(v.Gen)
 	}
 }
@@ -124,7 +130,26 @@ func (v *VM) SetSharedTrace(s *trace.Shared) {
 	v.shared = s
 	if s != nil {
 		v.cache = nil
-	} else if v.cache == nil {
+		v.variant = nil
+	} else if v.cache == nil && v.variant == nil {
+		v.cache = trace.Cached(v.Gen)
+	}
+}
+
+// SetVariantMemo points the VM at a copy-on-write variant memo instead
+// of its private cache: the base trace's chunks are shared by the whole
+// workload group while the VM's phase shift and jitter are overlaid per
+// read (internal/scenario's non-replicated groups). m must encode the
+// VM's own generator derivation — the overlay is pure, so the levels
+// are bit-identical to the private memo either way, but a mismatched
+// memo would silently replace the workload. Passing nil restores the
+// private cache.
+func (v *VM) SetVariantMemo(m *trace.VariantMemo) {
+	v.variant = m
+	if m != nil {
+		v.cache = nil
+		v.shared = nil
+	} else if v.cache == nil && v.shared == nil {
 		v.cache = trace.Cached(v.Gen)
 	}
 }
@@ -175,7 +200,7 @@ func (v *VM) Bursts(h simtime.Hour) []timeline.Burst {
 	if v.sharedTL != nil {
 		return v.sharedTL.Bursts(h)
 	}
-	if v.cache == nil && v.shared == nil {
+	if v.cache == nil && v.shared == nil && v.variant == nil {
 		// Caching disabled: stay uncached end to end.
 		return timeline.Expand(v.TimelineSeed(), h, v.Activity(h))
 	}
@@ -189,6 +214,9 @@ func (v *VM) Bursts(h simtime.Hour) []timeline.Burst {
 func (v *VM) Activity(h simtime.Hour) float64 {
 	if v.shared != nil {
 		return v.shared.Activity(h)
+	}
+	if v.variant != nil {
+		return v.variant.Activity(h)
 	}
 	if v.cache != nil {
 		return v.cache.Activity(h)
@@ -549,6 +577,17 @@ func SortVMsByMemDesc(vms []*VM) []*VM {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// HourRecorder is the per-hour observation hook of the Policy
+// interface: policies that maintain hourly state — utilization history
+// (Neat, Drowsy-DC) or the incremental idle index (Oasis) — implement
+// it, and the simulation runtime calls RecordHour once per simulated
+// hour, after the hour's activity played out and the idleness models
+// were fed. Policies driven outside a runtime (direct Rebalance calls)
+// must not rely on it; they lazily catch up instead.
+type HourRecorder interface {
+	RecordHour(*Cluster, simtime.Hour)
 }
 
 // Policy is a consolidation algorithm: it owns initial placement of new

@@ -90,12 +90,6 @@ func ParseResolution(s string) (Resolution, error) {
 	}
 }
 
-// hourRecorder is implemented by policies that maintain utilization
-// history (Neat and Drowsy-DC).
-type hourRecorder interface {
-	RecordHour(*cluster.Cluster, simtime.Hour)
-}
-
 // Config parameterizes a simulation run.
 type Config struct {
 	// Profile is the host power/latency profile.
@@ -492,7 +486,7 @@ func (r *Runner) Run() *Result {
 		for _, v := range c.VMs() {
 			v.Model.Observe(st, v.Activity(hr))
 		}
-		if rec, ok := r.policy.(hourRecorder); ok {
+		if rec, ok := r.policy.(cluster.HourRecorder); ok {
 			rec.RecordHour(c, hr)
 		}
 		r.wm.Heartbeat()
@@ -651,6 +645,17 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 		}
 		if next, ok := r.nextActiveHour(v, hr); ok {
 			at := next.Start()
+			// At event resolution the VM's work begins at its first
+			// within-hour burst, not the hour boundary: an hr-timer at
+			// the hour start would wake the host up to an hour early.
+			// Sub-floor activity keeps the hour-start date — such hours
+			// never take the event walk, so their wake must still land
+			// at the boundary the hourly path honors.
+			if r.cfg.Resolution == ResolutionEvent && v.Activity(next) >= core.DefaultNoiseFloor {
+				if bs := v.Bursts(next); len(bs) > 0 {
+					at = at.Add(simtime.Duration(bs[0].Start))
+				}
+			}
 			rt.os.RegisterTimer(rt.procOf[v.ID], at)
 			rt.timerAt[v.ID] = at
 		}
@@ -833,6 +838,13 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 	for k := range awake {
 		s := t0.Add(simtime.Duration(awake[k].Start))
 		e := t0.Add(simtime.Duration(awake[k].End))
+		// A scheduled wake due at or before this burst fires first, at
+		// its true (lead-compensated) instant: hr-timers of timer-driven
+		// VMs are clamped to their wake hour's first burst, so without
+		// this the ahead-of-time WoL — queued at a mid-hour instant the
+		// engine only reaches at the next boundary — would lose to the
+		// packet fallback and the host would resume late.
+		r.fireDueScheduledWake(rt, s)
 		r.eventNow = s
 		if st := rt.machine.State(); st == power.StateSuspended || st == power.StateOff {
 			// The burst's first request wakes the host (the sub-hourly
@@ -881,6 +893,26 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 	}
 	r.recordEventRequests(rt, vms, acts, wakes)
 	return true
+}
+
+// fireDueScheduledWake delivers a pending scheduled wake of a sleeping
+// host whose fire instant falls at or before limit, clamping the
+// machine's resume to that instant (the engine clock itself only
+// advances at hour boundaries). §V-B's ahead-of-time semantics then
+// hold at second scale: the host is awake when its hr-timer expires.
+func (r *Runner) fireDueScheduledWake(rt *hostRT, limit simtime.Time) {
+	if s := rt.machine.State(); s != power.StateSuspended && s != power.StateOff {
+		return
+	}
+	mac := netsim.MAC(rt.host.ID)
+	due, ok := r.wm.ScheduledFire(mac)
+	if !ok || due > limit {
+		return
+	}
+	prev := r.eventNow
+	r.eventNow = due
+	r.wm.FireScheduled(mac)
+	r.eventNow = prev
 }
 
 // setEventProcs flips the floor-active VMs' processes between running

@@ -176,9 +176,7 @@ func RunScaling(sizes []int) []ScalePoint { return RunScalingWorkers(sizes, 0) }
 func RunScalingWorkers(sizes []int, workers int) []ScalePoint {
 	evals := ParMap(workers, len(sizes)*2, func(i int) uint64 {
 		n := sizes[i/2]
-		hosts := (n + 3) / 4
-		c := BuildCluster(hosts, 16, 8, 4, population(n, 1.0))
-		seedPlacement(c)
+		c := ScalingCluster(n)
 		trainHours(c, 24)
 		if i%2 == 0 {
 			dp := drowsy.New(drowsy.Options{FullRelocation: true})
@@ -194,6 +192,17 @@ func RunScalingWorkers(sizes []int, workers int) []ScalePoint {
 		out = append(out, ScalePoint{VMs: n, DrowsyIPs: evals[2*i], OasisPairs: evals[2*i+1]})
 	}
 	return out
+}
+
+// ScalingCluster builds the §VII scaling population at n VMs — all
+// LLMI variants, seeded round-robin onto (n+3)/4 hosts. The complexity
+// measurements and the Oasis rebalance benchmarks share this shape;
+// callers needing trained idleness models feed observations themselves
+// (Oasis reads only activity, so its benchmarks skip that).
+func ScalingCluster(n int) *cluster.Cluster {
+	c := BuildCluster((n+3)/4, 16, 8, 4, population(n, 1.0))
+	seedPlacement(c)
+	return c
 }
 
 func seedPlacement(c *cluster.Cluster) {

@@ -298,30 +298,41 @@ func (sc Scenario) SimulatedVMs() int {
 }
 
 // runStores bundles the concurrent memos shared across every policy
-// cell of a run: one trace store per replicated group and — at
-// sub-hourly resolution — one timeline store on top of each. The zero
-// value means "no sharing" (every VM holds private memos).
+// cell of a run: one trace store per replicated group, one base-trace
+// store per non-replicated group (overlaid per member by copy-on-write
+// variant memos) and — at sub-hourly resolution — one timeline store on
+// top of each replicated store. The zero value means "no sharing"
+// (every VM holds private memos).
 type runStores struct {
 	traces    map[int]*trace.Shared
+	variants  map[int]*trace.Shared
 	timelines map[int]*trace.SharedTimeline
 }
 
-// sharedStores builds one concurrent trace store per replicated group,
+// sharedStores builds one concurrent trace store per workload group,
 // keyed by group index. The stores are shared across every policy cell
 // of a Run — that is the point: all VMs of the group, in all cells,
-// read one memo. Sized to the replayed span plus the timer-scan
-// lookahead; hours beyond fall back to direct evaluation. At event
-// resolution each replicated group additionally gets a shared timeline
-// store (seeded identically to the members' private seeds, so sharing
-// stays invisible in the results).
+// read one memo. Replicated members read the store directly;
+// non-replicated members wrap their group's base store in a
+// trace.VariantMemo, sharing the base chunks while overlaying their
+// phase shift and jitter per read — O(1) member state instead of a full
+// private memo per VM per cell. Stores are sized to the replayed span
+// plus the timer-scan lookahead; hours beyond fall back to direct
+// evaluation. At event resolution each replicated group additionally
+// gets a shared timeline store (seeded identically to the members'
+// private seeds, so sharing stays invisible in the results).
 func (sc Scenario) sharedStores() runStores {
-	st := runStores{traces: make(map[int]*trace.Shared)}
+	st := runStores{
+		traces:   make(map[int]*trace.Shared),
+		variants: make(map[int]*trace.Shared),
+	}
 	horizon := sc.Start + simtime.Hour(sc.HorizonHours) + simtime.HoursPerYear
 	if sc.Resolution == dcsim.ResolutionEvent {
 		st.timelines = make(map[int]*trace.SharedTimeline)
 	}
 	for gi, g := range sc.Groups {
 		if !g.Replicated {
+			st.variants[gi] = trace.NewShared(g.Gen, horizon)
 			continue
 		}
 		st.traces[gi] = trace.NewShared(g.Gen, horizon)
@@ -348,6 +359,25 @@ func memberTimelineSeed(gi int, g WorkloadGroup, i int) uint64 {
 	return timeline.MixSeed(uint64(gi), g.Seed, uint64(i))
 }
 
+// memberShift is member i's phase shift in hours, wrapped within the
+// week. Shared by memberGen and the variant-memo wiring so the two
+// derivations cannot drift apart.
+func memberShift(g WorkloadGroup, i int) int {
+	if g.ShiftStepHours == 0 {
+		return 0
+	}
+	return (i * g.ShiftStepHours) % (simtime.DaysPerWeek * simtime.HoursPerDay)
+}
+
+// jitterAmount is the variant jitter amplitude in effect: the sweep
+// override when set, the package default otherwise.
+func (sc Scenario) jitterAmount() float64 {
+	if sc.Tuning.JitterSet {
+		return sc.Tuning.JitterAmount
+	}
+	return trace.VariantJitterAmount
+}
+
 // memberGen derives member i's generator from its group. Replicated
 // members replay the archetype exactly; others get a phase-shifted,
 // re-jittered variant whose jitter amplitude the scenario's Tuning may
@@ -356,15 +386,7 @@ func (sc Scenario) memberGen(g WorkloadGroup, i int) trace.Generator {
 	if g.Replicated {
 		return g.Gen
 	}
-	shift := 0
-	if g.ShiftStepHours != 0 {
-		shift = (i * g.ShiftStepHours) % (simtime.DaysPerWeek * simtime.HoursPerDay)
-	}
-	jitter := trace.VariantJitterAmount
-	if sc.Tuning.JitterSet {
-		jitter = sc.Tuning.JitterAmount
-	}
-	return trace.VariantJitter(g.Gen, g.Seed+uint64(i), shift, jitter)
+	return trace.VariantJitter(g.Gen, g.Seed+uint64(i), memberShift(g, i), sc.jitterAmount())
 }
 
 // materialize builds one policy cell's cluster, its churn schedule and
@@ -407,6 +429,13 @@ func (sc Scenario) materialize(st runStores) (
 			v.SetTimelineSeed(memberTimelineSeed(gi, g, i))
 			if s, ok := st.traces[gi]; ok {
 				v.SetSharedTrace(s)
+			}
+			if vs, ok := st.variants[gi]; ok {
+				// The memo's derivation must be exactly memberGen's:
+				// same seed, shift and jitter over the same base, which
+				// is what makes it bit-identical to a private memo.
+				v.SetVariantMemo(trace.NewVariantMemo(
+					vs, g.Seed+uint64(i), memberShift(g, i), sc.jitterAmount()))
 			}
 			if tl, ok := st.timelines[gi]; ok {
 				v.SetSharedTimeline(tl)

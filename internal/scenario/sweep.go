@@ -394,7 +394,18 @@ func RunSweep(sc Scenario, opt Options) (*SweepReport, error) {
 	// serial loop over points would produce, so reports assemble in
 	// axis order regardless of scheduling.
 	cols := sc.policies()
-	stores := sc.sharedStores()
+	// Stores are built for the most demanding resolution any point
+	// selects: a resolution sweep on an hourly-default family must
+	// still share one timeline store across its event points (hourly
+	// cells never read bursts, so the store is inert for them).
+	storeSrc := sc
+	for _, point := range points {
+		if point.Resolution == dcsim.ResolutionEvent {
+			storeSrc.Resolution = dcsim.ResolutionEvent
+			break
+		}
+	}
+	stores := storeSrc.sharedStores()
 	if opt.PrivateCaches {
 		stores = runStores{}
 	}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"drowsydc/internal/simtime"
+)
+
+// VariantMemo is the copy-on-write activity memo of a workload-variant
+// VM. Non-replicated scenario groups derive every member from one base
+// archetype via VariantJitter — a phase shift plus per-hour jitter —
+// and before this memo each member held a full private CachedGenerator:
+// a year-scale horizon costs ~70 KB of memoized levels per VM, times
+// hundreds of VMs, times one cluster per concurrently running policy
+// cell. But the expensive part of a variant's level is the base
+// generator's closure chain; the shift is an hour remap and the jitter
+// is one splitmix hash and a multiply. VariantMemo therefore shares the
+// base trace's chunks (a Shared store, one per group per run) and
+// overlays shift + jitter per read: per-member state is O(1), and the
+// overlay arithmetic replays VariantJitter's float operations exactly,
+// so the levels are bit-identical to a private memo of the variant
+// generator.
+//
+// One boundary needs care: the base store memoizes clamped levels, and
+// clamping is lossy exactly at the boundaries. A stored 0 is safe — a
+// non-positive raw level jitters to 0 either way — but a stored 1 may
+// hide a raw level above 1 whose jittered clamp differs from the
+// clamp's jitter. Saturated base hours therefore fall back to
+// evaluating the variant generator directly (pure, hence still
+// bit-identical); every interior level takes the O(1) overlay.
+type VariantMemo struct {
+	base   *Shared
+	gen    Generator
+	seed   uint64
+	shift  int
+	amount float64
+}
+
+// NewVariantMemo builds the copy-on-write memo of the variant
+// VariantJitter(base.Gen(), seed, shiftHours, amount): levels are read
+// from the shared base store and the member's shift and jitter are
+// overlaid per hour.
+func NewVariantMemo(base *Shared, seed uint64, shiftHours int, amount float64) *VariantMemo {
+	return &VariantMemo{
+		base:   base,
+		gen:    VariantJitter(base.Gen(), seed, shiftHours, amount),
+		seed:   seed,
+		shift:  shiftHours,
+		amount: amount,
+	}
+}
+
+// Gen returns the member's variant generator (the one the memo's levels
+// are bit-identical to).
+func (m *VariantMemo) Gen() Generator { return m.gen }
+
+// Base returns the shared base store the memo overlays (test and
+// reporting introspection).
+func (m *VariantMemo) Base() *Shared { return m.base }
+
+// shiftedHour replays Shift's hour remap: the variant's level at hour h
+// is derived from the base level at h−shift, wrapped within the week
+// when the shift reaches before hour 0.
+func (m *VariantMemo) shiftedHour(h simtime.Hour) simtime.Hour {
+	shifted := int64(h) - int64(m.shift)
+	if shifted < 0 {
+		shifted += (int64(m.shift)/(7*24) + 1) * 7 * 24
+	}
+	return simtime.Hour(shifted)
+}
+
+// Activity returns the variant's activity level for hour h, served from
+// the shared base chunks with the shift+jitter overlay. Safe for
+// concurrent use (the base store is concurrent and the overlay is
+// stateless).
+func (m *VariantMemo) Activity(h simtime.Hour) float64 {
+	if h < 0 {
+		// Delegate so the error surfaces exactly as without the memo
+		// (Decompose panics on negative hours).
+		return m.gen.Activity(h)
+	}
+	vb := m.base.Activity(m.shiftedHour(h))
+	if m.amount == 0 {
+		return vb // pure phase shift
+	}
+	if vb == 0 {
+		// A raw base level ≤ 0 jitters to 0 whichever side of the
+		// clamp the jitter lands: Jitter passes 0 through and a
+		// negative level times a positive factor clamps back to 0.
+		return 0
+	}
+	if vb == 1 {
+		// Saturated: the raw level may exceed 1 and jitter differently
+		// than its clamp. Replay the variant generator directly.
+		return m.gen.Activity(h)
+	}
+	// Interior levels round-trip the clamp unchanged, so this is
+	// exactly Jitter's arithmetic on exactly the raw base level.
+	f := 1 + m.amount*(2*hashUnit(m.seed, h)-1)
+	return clamp01(vb * f)
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"drowsydc/internal/simtime"
+)
+
+// The copy-on-write variant memo must be bit-identical to a private
+// CachedGenerator of the same variant — that is the contract that lets
+// scenario materialization swap hundreds of per-member memos for one
+// shared base store without moving a single simulation result. The
+// tests compare raw float bits (not approximate equality) across base
+// shapes that exercise every overlay branch: zeros, interior levels,
+// and raw levels outside [0, 1] whose clamp is lossy.
+
+// saturatingGen produces raw levels above 1 and below 0, the shapes
+// whose clamped memo value no longer determines the jittered result —
+// the overlay must detect the boundary and replay the generator.
+func saturatingGen() Generator {
+	return Generator{
+		Name: "saturating",
+		Fn: func(st simtime.Stamp) float64 {
+			switch st.HourOfDay % 4 {
+			case 0:
+				return 1.7 // clamps to 1; jitter may pull it back under
+			case 1:
+				return -0.3 // clamps to 0 either way
+			case 2:
+				return 0.42
+			default:
+				return float64(st.HourOfDay) / 30
+			}
+		},
+	}
+}
+
+func TestVariantMemoBitIdenticalToPrivate(t *testing.T) {
+	bases := []Generator{
+		RealTrace(1),
+		DailyBackup(0.6),
+		ComicStrips(0.5),
+		LLMU(0x77),
+		SeasonalResults(),
+		saturatingGen(),
+	}
+	cases := []struct {
+		seed   uint64
+		shift  int
+		amount float64
+	}{
+		{0xd1, 0, 0},                   // identity
+		{0xd2, 31, 0},                  // pure phase shift
+		{0xd3, 0, VariantJitterAmount}, // pure jitter
+		{0xd4, 5, 0.15},
+		{0xd5, 167, 0.4},
+		{0xd6, 9, 0.999}, // near-unit jitter amplitude
+	}
+	const span = 3 * 31 * 24
+	for _, base := range bases {
+		shared := NewShared(base, span+200)
+		for _, tc := range cases {
+			memo := NewVariantMemo(shared, tc.seed, tc.shift, tc.amount)
+			private := Cached(VariantJitter(base, tc.seed, tc.shift, tc.amount))
+			for h := simtime.Hour(0); h < span; h++ {
+				got, want := memo.Activity(h), private.Activity(h)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s seed %#x shift %d amount %v hour %d: memo %v (%#x) != private %v (%#x)",
+						base.Name, tc.seed, tc.shift, tc.amount, h,
+						got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestVariantMemoBeyondHorizon checks the fallback chain: past the base
+// store's memoized span the base delegates to its generator, and the
+// overlay stays exact.
+func TestVariantMemoBeyondHorizon(t *testing.T) {
+	base := RealTrace(2)
+	shared := NewShared(base, 100) // tiny horizon
+	memo := NewVariantMemo(shared, 0xbe, 13, 0.2)
+	private := Cached(VariantJitter(base, 0xbe, 13, 0.2))
+	for h := simtime.Hour(0); h < 3000; h++ {
+		got, want := memo.Activity(h), private.Activity(h)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("hour %d: %v != %v", h, got, want)
+		}
+	}
+}
+
+// TestVariantMemoGen pins the reported generator derivation (VM
+// construction and reports read it).
+func TestVariantMemoGen(t *testing.T) {
+	base := RealTrace(1)
+	shared := NewShared(base, 100)
+	memo := NewVariantMemo(shared, 3, 7, 0.1)
+	want := VariantJitter(base, 3, 7, 0.1).Name
+	if memo.Gen().Name != want {
+		t.Fatalf("memo generator %q, want %q", memo.Gen().Name, want)
+	}
+	if memo.Base() != shared {
+		t.Fatal("memo does not expose its base store")
+	}
+}
+
+// TestVariantMemoConcurrentReaders hammers one base store through many
+// member memos concurrently (the scenario shape: all members of a
+// non-replicated group, across policy cells, share one base). Run with
+// -race; values are checked against private memos computed up front.
+func TestVariantMemoConcurrentReaders(t *testing.T) {
+	base := RealTrace(3)
+	const span = 2048
+	shared := NewShared(base, span)
+	const members = 16
+	want := make([][]float64, members)
+	memos := make([]*VariantMemo, members)
+	for m := 0; m < members; m++ {
+		seed, shift := uint64(100+m), m*11
+		memos[m] = NewVariantMemo(shared, seed, shift, 0.15)
+		private := Cached(VariantJitter(base, seed, shift, 0.15))
+		want[m] = make([]float64, span)
+		for h := 0; h < span; h++ {
+			want[m][h] = private.Activity(simtime.Hour(h))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, members)
+	for m := 0; m < members; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for h := 0; h < span; h++ {
+				if got := memos[m].Activity(simtime.Hour(h)); math.Float64bits(got) != math.Float64bits(want[m][h]) {
+					errs <- fmt.Sprintf("member %d hour %d: %v != %v", m, h, got, want[m][h])
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

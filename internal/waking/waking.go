@@ -123,6 +123,43 @@ func (m *Module) HostResumed(mac netsim.MAC) {
 	m.syncToPeer()
 }
 
+// ScheduledFire returns the instant at which a host's pending
+// scheduled wake is due to fire — the registered waking date minus the
+// lead, clamped to the present — and whether one is pending. The
+// sub-hourly event walk polls it so ahead-of-time WoLs land at their
+// true second-scale instants instead of the next hour boundary (the
+// only points the engine otherwise advances through).
+func (m *Module) ScheduledFire(mac netsim.MAC) (simtime.Time, bool) {
+	t, ok := m.schedule[mac]
+	if !ok || !t.Active() {
+		return 0, false
+	}
+	fireAt := m.wakeDates[mac] - simtime.Time(m.lead)
+	if fireAt < m.engine.Now() {
+		fireAt = m.engine.Now()
+	}
+	return fireAt, true
+}
+
+// FireScheduled fires a host's pending scheduled wake immediately:
+// the queued engine event is canceled, the wake is counted, and the
+// WoL delivered. It reports whether a wake was pending. Callers decide
+// the instant (the sub-hourly event walk clamps the machine's resume
+// to ScheduledFire's time); firing through the engine at hour
+// boundaries remains the default path.
+func (m *Module) FireScheduled(mac netsim.MAC) bool {
+	t, ok := m.schedule[mac]
+	if !ok || !t.Active() {
+		return false
+	}
+	t.Cancel()
+	delete(m.schedule, mac)
+	delete(m.wakeDates, mac)
+	m.scheduledWakes++
+	m.fireWoL(mac)
+	return true
+}
+
 // PacketArrived runs the packet analyzer for one inbound request and
 // reports whether it woke a suspended host.
 func (m *Module) PacketArrived(p netsim.Packet) bool {

@@ -224,3 +224,64 @@ func TestTakeoverSkipsAlreadyAdoptedHosts(t *testing.T) {
 		t.Fatalf("wake counts %v, want one each for hosts 7 and 8", count)
 	}
 }
+
+func TestFireScheduledEarly(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	// No pending wake: nothing to report or fire.
+	if _, ok := m.ScheduledFire(9); ok {
+		t.Fatal("phantom scheduled fire on an unknown host")
+	}
+	if m.FireScheduled(9) {
+		t.Fatal("fired a wake that was never registered")
+	}
+	// Host 4 suspends with a waking date at t=100; lead 1s → due t=99.
+	m.HostSuspended(4, []netsim.VMID{7}, 100, true)
+	due, ok := m.ScheduledFire(4)
+	if !ok || due != 99 {
+		t.Fatalf("scheduled fire = %d, %v; want 99, true", due, ok)
+	}
+	// The sub-hourly walk fires it early, at its true instant: counted
+	// as a scheduled wake, engine event retired.
+	if !m.FireScheduled(4) {
+		t.Fatal("pending wake did not fire")
+	}
+	if len(woken) != 1 || woken[0] != 4 {
+		t.Fatalf("woken = %v", woken)
+	}
+	sched, _, _ := m.Stats()
+	if sched != 1 {
+		t.Fatalf("scheduled wakes = %d, want 1", sched)
+	}
+	// Idempotent: the wake is consumed, and draining the engine fires
+	// nothing further (no double WoL at the old instant).
+	if m.FireScheduled(4) {
+		t.Fatal("wake fired twice")
+	}
+	if _, ok := m.ScheduledFire(4); ok {
+		t.Fatal("consumed wake still reported pending")
+	}
+	e.RunUntil(200)
+	if len(woken) != 1 {
+		t.Fatalf("engine refired a consumed wake: %v", woken)
+	}
+}
+
+func TestScheduledFireClampsToPresent(t *testing.T) {
+	e := sim.New()
+	var woken []netsim.MAC
+	m := newTestModule("rack0", e, &woken)
+	e.RunUntil(50)
+	// Waking date nearly due: the lead would reach before now.
+	m.HostSuspended(2, []netsim.VMID{1}, 50, true)
+	due, ok := m.ScheduledFire(2)
+	if !ok || due != 50 {
+		t.Fatalf("scheduled fire = %d, %v; want clamped to now (50), true", due, ok)
+	}
+	// HostResumed retires the pending wake; firing afterwards is a no-op.
+	m.HostResumed(2)
+	if m.FireScheduled(2) {
+		t.Fatal("fired after HostResumed retired the schedule")
+	}
+}
