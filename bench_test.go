@@ -132,6 +132,50 @@ func BenchmarkConsolidationScalingOasis(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetScaling is the sharded executor's headline scaling
+// series: one drowsy simulation over the §VII scaling population at
+// fleet sizes up to a quarter million VMs, host and observation phases
+// fanned out over GOMAXPROCS shard workers. Horizons shrink as the
+// fleet grows (a week, a month, a day) so CI's single-iteration smoke
+// pass stays bounded while the big sizes still prove the
+// struct-of-arrays runtime holds million-VM-hour workloads without
+// memory exhaustion. Consolidation runs in the trigger-based
+// production mode (no full relocation) with a single hour-0 round: the
+// series measures the executor, not the policy — the policy's own cost
+// growth is BenchmarkConsolidationScalingDrowsy. The quarter-million
+// size holds ~7 GB of model state and skips under -short so CI's
+// single-iteration smoke pass fits its runner.
+func BenchmarkFleetScaling(b *testing.B) {
+	for _, cfg := range []struct {
+		vms, hours int
+		heavy      bool
+	}{
+		{4096, 7 * 24, false},
+		{65536, 24, false},
+		{262144, 24, true},
+	} {
+		b.Run(fmt.Sprintf("vms-%d", cfg.vms), func(b *testing.B) {
+			if cfg.heavy && testing.Short() {
+				b.Skip("quarter-million-VM fleet needs ~7 GB; skipped in -short mode")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := exp.ScalingCluster(cfg.vms)
+				res := dcsim.NewRunner(dcsim.Config{
+					Hours:             cfg.hours,
+					EnableSuspend:     true,
+					UseGrace:          true,
+					RebalanceEvery:    cfg.hours + 1,
+					DisableColocation: true,
+				}, c, drowsy.New(drowsy.Options{})).Run()
+				if res.EnergyKWh <= 0 {
+					b.Fatal("no energy")
+				}
+			}
+		})
+	}
+}
+
 func vmCount(n int) string {
 	switch {
 	case n >= 1000:

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"drowsydc/internal/exp"
@@ -26,7 +28,45 @@ type BenchResult struct {
 func runBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "shrink the workloads (CI smoke mode)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering every benchmark to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the benchmarks to this file")
 	_ = fs.Parse(args)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "drowsyctl bench: -cpuprofile:", err)
+			}
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		// Bring the heap profile up to date so it reflects the benchmark
+		// allocations, not whatever the last GC cycle happened to see.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -memprofile:", err)
+			os.Exit(1)
+		}
+	}()
 
 	scalingSize := 256
 	sweepCfg := exp.SimConfig{Hosts: 8, Slots: 4, Days: 14,
@@ -36,6 +76,11 @@ func runBench(args []string) {
 	// The acceptance scale of the fleet-wide Oasis column: 224 hosts,
 	// ~500 VMs, one year (the family default).
 	heteroParams := scenario.Params{}
+	// The sharded-executor workload: one big fleet advanced by the
+	// intra-run shard workers (every other entry parallelizes across
+	// cells instead). Thousands of VMs, short horizon, drowsy only.
+	fleetParams := scenario.Params{Hosts: 1024, HorizonHours: 7 * 24,
+		ShardWorkers: runtime.GOMAXPROCS(0)}
 	if *quick {
 		scalingSize = 64
 		sweepCfg.Days = 3
@@ -43,6 +88,7 @@ func runBench(args []string) {
 		scenarioParams = scenario.Params{Hosts: 8, HorizonHours: 7 * 24}
 		subHourlyParams = scenario.Params{Hosts: 8, HorizonHours: 7 * 24}
 		heteroParams = scenario.Params{Hosts: 56, HorizonHours: 60 * 24}
+		fleetParams.Hosts, fleetParams.HorizonHours = 128, 3*24
 	}
 
 	benches := []struct {
@@ -104,6 +150,30 @@ func runBench(args []string) {
 				}
 				if len(rep.Policies) == 0 || rep.Policies[0].EnergyKWh <= 0 {
 					b.Fatal("no oasis results")
+				}
+			}
+		}},
+		// The sharded executor at fleet scale: one drowsy column over a
+		// ~4.5-VMs/host office fleet, host and observation phases fanned
+		// out over -shard-workers goroutines (GOMAXPROCS here). The
+		// other entries measure cross-cell parallelism; this one is the
+		// intra-run axis the million-VM milestone relies on.
+		{"fleet-scaling", func(b *testing.B) {
+			b.ReportAllocs()
+			f, ok := scenario.Lookup("diurnal-office")
+			if !ok {
+				b.Fatal("diurnal-office not registered")
+			}
+			for i := 0; i < b.N; i++ {
+				sc := f.Build(fleetParams)
+				sc.Policies = []scenario.PolicyConfig{{Label: "drowsy", Policy: "drowsy", Suspend: true, Grace: true}}
+				sc.Tuning.ShardWorkers = fleetParams.ShardWorkers
+				rep, err := scenario.Run(sc, scenario.Options{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Policies) == 0 || rep.Policies[0].EnergyKWh <= 0 {
+					b.Fatal("no fleet results")
 				}
 			}
 		}},

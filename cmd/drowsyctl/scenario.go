@@ -41,12 +41,13 @@ func scenarioUsage() {
 	fmt.Fprintln(os.Stderr, `usage: drowsyctl scenario <list|params|run|sweep> [flags]
   list                     show the registered scenario families
   params                   show the sweepable parameters
-  run -name F [-hosts N] [-horizon-days N] [-workers N] [-private-cache]
-      [-resolution hourly|event] [-table]
+  run -name F [-hosts N] [-horizon-days N] [-workers N] [-shard-workers N]
+      [-private-cache] [-resolution hourly|event] [-table]
                            run family F, per-policy energy/SLA/latency JSON on
                            stdout (-table for an aligned text table)
   sweep -family F -param P -values a,b,c [-hosts N] [-horizon-days N]
-        [-workers N] [-private-cache] [-resolution hourly|event] [-table]
+        [-workers N] [-shard-workers N] [-private-cache]
+        [-resolution hourly|event] [-table]
                            sweep parameter P over the value grid on family F;
                            JSON on stdout (-table for an aligned text table)`)
 }
@@ -70,30 +71,54 @@ func listSweepParams(w io.Writer) {
 }
 
 // scaleFlags registers the family-scaling and execution flags shared by
-// run and sweep.
-func scaleFlags(fs *flag.FlagSet) (hosts, horizonDays, workers *int, private *bool, resolution *string) {
+// run and sweep. Two distinct worker knobs exist: -workers bounds how
+// many (policy, grid-point) cells run concurrently, while
+// -shard-workers bounds the goroutines *inside* each cell's sharded
+// fleet executor — the knob that matters for one huge fleet rather
+// than many small cells.
+func scaleFlags(fs *flag.FlagSet) (hosts, horizonDays, workers, shardWorkers *int, private *bool, resolution *string) {
 	hosts = fs.Int("hosts", 0, "override fleet size (0 = family default)")
 	horizonDays = fs.Int("horizon-days", 0, "override horizon in days (0 = family default)")
-	workers = fs.Int("workers", 0, "cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+	workers = fs.Int("workers", 0,
+		"policy/grid cells run concurrently (0 = GOMAXPROCS, 1 = serial); intra-run parallelism is -shard-workers")
+	shardWorkers = fs.Int("shard-workers", 1,
+		"goroutines per cell's sharded fleet executor (1 = serial; results are bit-identical at any value)")
 	private = fs.Bool("private-cache", false, "per-VM trace memos instead of the shared store")
 	resolution = fs.String("resolution", "",
 		"activity resolution override: hourly or event (empty = family default)")
 	return
 }
 
+// validateShardWorkers rejects nonsensical -shard-workers values with
+// an error that disambiguates the two worker flags. Unlike -workers
+// there is no "0 = GOMAXPROCS" form here: grid cells own the outer
+// parallelism, so intra-run fan-out is always an explicit opt-in.
+func validateShardWorkers(cmd string, n int) {
+	if n < 1 {
+		fmt.Fprintf(os.Stderr,
+			"drowsyctl scenario %s: -shard-workers must be >= 1 (got %d); "+
+				"-shard-workers is the per-cell fleet executor's goroutine bound, "+
+				"not the concurrent-cell bound (that is -workers, where 0 means GOMAXPROCS)\n",
+			cmd, n)
+		os.Exit(2)
+	}
+}
+
 func runScenarioFamily(args []string) {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
 	name := fs.String("name", "", "family to run (see `drowsyctl scenario list`)")
 	table := fs.Bool("table", false, "emit an aligned text table instead of JSON")
-	hosts, horizonDays, workers, private, resolution := scaleFlags(fs)
+	hosts, horizonDays, workers, shardWorkers, private, resolution := scaleFlags(fs)
 	_ = fs.Parse(args)
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario run: -name is required")
 		scenarioUsage()
 		os.Exit(2)
 	}
+	validateShardWorkers("run", *shardWorkers)
 	if err := writeScenarioRun(os.Stdout, *name, *table,
-		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24, Resolution: *resolution},
+		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24,
+			Resolution: *resolution, ShardWorkers: *shardWorkers},
 		scenario.Options{Workers: *workers, PrivateCaches: *private}); err != nil {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
 		os.Exit(1)
@@ -120,15 +145,17 @@ func runScenarioSweep(args []string) {
 	param := fs.String("param", "", "parameter to sweep (see `drowsyctl scenario params`)")
 	valueList := fs.String("values", "", "comma-separated, strictly increasing value grid")
 	table := fs.Bool("table", false, "emit an aligned text table instead of JSON")
-	hosts, horizonDays, workers, private, resolution := scaleFlags(fs)
+	hosts, horizonDays, workers, shardWorkers, private, resolution := scaleFlags(fs)
 	_ = fs.Parse(args)
 	if *family == "" || *param == "" || *valueList == "" {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario sweep: -family, -param and -values are required")
 		scenarioUsage()
 		os.Exit(2)
 	}
+	validateShardWorkers("sweep", *shardWorkers)
 	if err := writeScenarioSweep(os.Stdout, *family, *param, *valueList, *table,
-		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24, Resolution: *resolution},
+		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24,
+			Resolution: *resolution, ShardWorkers: *shardWorkers},
 		scenario.Options{Workers: *workers, PrivateCaches: *private}); err != nil {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario sweep:", err)
 		os.Exit(1)

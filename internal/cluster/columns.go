@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+
+	"drowsydc/internal/simtime"
+)
+
+// Columns holds the simulation runtime's per-VM and per-host hot state
+// as struct-of-arrays columns: the hourly activity level and idle flag
+// per VM slot, a keyed idleness-probability memo per VM slot, and the
+// awake/suspended flags per host. The per-hour inner loops of the
+// runtime sweep these flat arrays instead of chasing VM/Host pointers,
+// and the sharded executor hands each shard a disjoint index range of
+// them.
+//
+// Layout notes for sharded use:
+//
+//   - Slots and host indices are assigned by the runtime (VM arrival
+//     order and Cluster.Hosts() order); a slot stays with its VM for
+//     the VM's lifetime and is never reused after departure.
+//   - During the parallel phases of an hour, each slot is written only
+//     by the shard owning the VM's current host, and each host index
+//     only by its own shard. All columns are element-addressable
+//     ([]float64, []uint64, []bool — the flags are deliberately
+//     byte-backed rather than packed bit words) so writes to disjoint
+//     indices are race-free without any alignment requirement on shard
+//     boundaries.
+//   - The IP-memo epoch is bumped only in the serial reduction step at
+//     hour boundaries, never concurrently with readers.
+type Columns struct {
+	act  []float64
+	idle []bool
+
+	// ip memoizes a slot's idleness probability under a key that packs
+	// the queried hour and the observation epoch (see IPMemoKey): any
+	// observe phase advances the epoch, retiring every stale entry in
+	// O(1) without touching the arrays.
+	ip    []float64
+	ipKey []uint64
+	epoch uint32
+
+	hostAwake     []bool
+	hostSuspended []bool
+}
+
+// NewColumns sizes columns for a fleet of slots VMs on hosts hosts.
+// The slot count grows with arrivals (Grow); the host count is fixed
+// for the life of a run.
+func NewColumns(slots, hosts int) *Columns {
+	if slots < 0 || hosts < 0 {
+		panic(fmt.Sprintf("cluster: NewColumns(%d, %d) with negative size", slots, hosts))
+	}
+	return &Columns{
+		act:           make([]float64, slots),
+		idle:          make([]bool, slots),
+		ip:            make([]float64, slots),
+		ipKey:         make([]uint64, slots),
+		hostAwake:     make([]bool, hosts),
+		hostSuspended: make([]bool, hosts),
+	}
+}
+
+// Slots returns the number of VM slots allocated.
+func (co *Columns) Slots() int { return len(co.act) }
+
+// Hosts returns the number of host indices allocated.
+func (co *Columns) Hosts() int { return len(co.hostAwake) }
+
+// Grow extends the VM columns to at least n slots (no-op when already
+// large enough). New slots read as inactive with no memoized IP. Only
+// called from the serial arrival step, never concurrently with column
+// access.
+func (co *Columns) Grow(n int) {
+	for len(co.act) < n {
+		co.act = append(co.act, 0)
+		co.idle = append(co.idle, false)
+		co.ip = append(co.ip, 0)
+		co.ipKey = append(co.ipKey, 0)
+	}
+}
+
+// SetActivity records a slot's activity level and idle flag for the
+// hour being played.
+func (co *Columns) SetActivity(slot int, act float64, idle bool) {
+	co.act[slot] = act
+	co.idle[slot] = idle
+}
+
+// Activity returns the slot's recorded activity level.
+func (co *Columns) Activity(slot int) float64 { return co.act[slot] }
+
+// Idle returns the slot's recorded idle flag.
+func (co *Columns) Idle(slot int) bool { return co.idle[slot] }
+
+// AdvanceIPEpoch retires every memoized IP (the models just absorbed
+// an hour of observations). Serial-phase only.
+func (co *Columns) AdvanceIPEpoch() { co.epoch++ }
+
+// IPMemoKey packs a queried hour and the current observation epoch
+// into a non-zero memo key: equal keys guarantee the memoized value
+// was computed for the same hour against models in the same state.
+// The hour occupies the high 32 bits (+1 so a zeroed ipKey slot never
+// matches); the epoch may wrap at 2³² observe phases, which would need
+// a single run of half a million simulated years to produce a false
+// hit.
+func (co *Columns) IPMemoKey(h simtime.Hour) uint64 {
+	return uint64(h+1)<<32 | uint64(co.epoch)
+}
+
+// IPMemo returns the slot's memoized idleness probability when it was
+// stored under exactly this key.
+func (co *Columns) IPMemo(slot int, key uint64) (float64, bool) {
+	if co.ipKey[slot] != key {
+		return 0, false
+	}
+	return co.ip[slot], true
+}
+
+// StoreIPMemo memoizes a slot's idleness probability under key.
+func (co *Columns) StoreIPMemo(slot int, key uint64, ip float64) {
+	co.ip[slot] = ip
+	co.ipKey[slot] = key
+}
+
+// SetHostAwake records whether a host is fully awake (running, not
+// suspended, not mid-transition).
+func (co *Columns) SetHostAwake(host int, on bool) { co.hostAwake[host] = on }
+
+// HostAwake returns the host's awake flag.
+func (co *Columns) HostAwake(host int) bool { return co.hostAwake[host] }
+
+// SetHostSuspended records whether a host is suspended.
+func (co *Columns) SetHostSuspended(host int, on bool) { co.hostSuspended[host] = on }
+
+// HostSuspended returns the host's suspended flag.
+func (co *Columns) HostSuspended(host int) bool { return co.hostSuspended[host] }

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"drowsydc/internal/simtime"
+)
+
+func TestColumnsBasics(t *testing.T) {
+	co := NewColumns(3, 2)
+	if co.Slots() != 3 || co.Hosts() != 2 {
+		t.Fatalf("sizes = (%d, %d), want (3, 2)", co.Slots(), co.Hosts())
+	}
+	co.SetActivity(1, 0.75, false)
+	co.SetActivity(2, 0.001, true)
+	if co.Activity(1) != 0.75 || co.Idle(1) {
+		t.Fatalf("slot 1 = (%v, %v), want (0.75, active)", co.Activity(1), co.Idle(1))
+	}
+	if co.Activity(2) != 0.001 || !co.Idle(2) {
+		t.Fatalf("slot 2 = (%v, %v), want (0.001, idle)", co.Activity(2), co.Idle(2))
+	}
+	co.SetHostAwake(0, true)
+	co.SetHostSuspended(1, true)
+	if !co.HostAwake(0) || co.HostAwake(1) {
+		t.Fatal("awake flags wrong")
+	}
+	if co.HostSuspended(0) || !co.HostSuspended(1) {
+		t.Fatal("suspended flags wrong")
+	}
+}
+
+func TestColumnsGrow(t *testing.T) {
+	co := NewColumns(2, 1)
+	co.SetActivity(1, 0.5, false)
+	co.StoreIPMemo(1, co.IPMemoKey(7), 0.25)
+	co.Grow(5)
+	if co.Slots() != 5 {
+		t.Fatalf("Slots() = %d after Grow(5)", co.Slots())
+	}
+	if co.Activity(1) != 0.5 {
+		t.Fatal("Grow lost existing activity")
+	}
+	if ip, ok := co.IPMemo(1, co.IPMemoKey(7)); !ok || ip != 0.25 {
+		t.Fatal("Grow lost existing IP memo")
+	}
+	// New slots read as inactive with no memo.
+	if co.Activity(4) != 0 || co.Idle(4) {
+		t.Fatal("fresh slot not inactive")
+	}
+	if _, ok := co.IPMemo(4, co.IPMemoKey(0)); ok {
+		t.Fatal("fresh slot has a memo hit")
+	}
+	co.Grow(3) // no-op
+	if co.Slots() != 5 {
+		t.Fatal("Grow shrank the columns")
+	}
+}
+
+func TestColumnsIPMemoEpoch(t *testing.T) {
+	co := NewColumns(1, 0)
+	h := simtime.Hour(100)
+	if _, ok := co.IPMemo(0, co.IPMemoKey(h)); ok {
+		t.Fatal("hit on empty memo")
+	}
+	key := co.IPMemoKey(h)
+	co.StoreIPMemo(0, key, 0.9)
+	if ip, ok := co.IPMemo(0, key); !ok || ip != 0.9 {
+		t.Fatal("memo miss after store")
+	}
+	// A different hour misses.
+	if _, ok := co.IPMemo(0, co.IPMemoKey(h+1)); ok {
+		t.Fatal("hit for a different hour")
+	}
+	// An observe phase retires the entry without touching the slot.
+	co.AdvanceIPEpoch()
+	if _, ok := co.IPMemo(0, co.IPMemoKey(h)); ok {
+		t.Fatal("hit across an epoch advance")
+	}
+	// Hour 0 keys are distinguishable from the zeroed-slot state.
+	co2 := NewColumns(1, 0)
+	if _, ok := co2.IPMemo(0, co2.IPMemoKey(0)); ok {
+		t.Fatal("zeroed slot matches the hour-0 key")
+	}
+}
+
+// TestColumnsShardedWrites exercises the sharded-use contract under the
+// race detector: concurrent writers on disjoint, deliberately unaligned
+// index ranges (shard boundaries mid-byte-run), as the parallel host
+// phase produces.
+func TestColumnsShardedWrites(t *testing.T) {
+	const slots, hosts, shards = 1003, 97, 8
+	co := NewColumns(slots, hosts)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := s*slots/shards, (s+1)*slots/shards
+		hlo, hhi := s*hosts/shards, (s+1)*hosts/shards
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := lo; slot < hi; slot++ {
+				co.SetActivity(slot, float64(slot), slot%2 == 0)
+				co.StoreIPMemo(slot, co.IPMemoKey(3), float64(slot)/slots)
+			}
+			for h := hlo; h < hhi; h++ {
+				co.SetHostAwake(h, h%2 == 0)
+				co.SetHostSuspended(h, h%2 == 1)
+			}
+		}()
+	}
+	wg.Wait()
+	for slot := 0; slot < slots; slot++ {
+		if co.Activity(slot) != float64(slot) || co.Idle(slot) != (slot%2 == 0) {
+			t.Fatalf("slot %d corrupted", slot)
+		}
+		if ip, ok := co.IPMemo(slot, co.IPMemoKey(3)); !ok || ip != float64(slot)/slots {
+			t.Fatalf("slot %d memo corrupted", slot)
+		}
+	}
+	for h := 0; h < hosts; h++ {
+		if co.HostAwake(h) != (h%2 == 0) || co.HostSuspended(h) != (h%2 == 1) {
+			t.Fatalf("host %d flags corrupted", h)
+		}
+	}
+}

@@ -257,6 +257,14 @@ func u(absSI float64) float64 {
 // activity must be in [0, 1]; levels below the noise floor count as an
 // idle hour.
 func (m *Model) Observe(st simtime.Stamp, activity float64) {
+	m.observe(st, activity, nil)
+}
+
+// observe is Observe with an optional cross-model update memo, threaded
+// in by ObserveColumn so replicated models in one column share their
+// eq. 5 exponentials (see columnMemo in batch.go). memo nil means the
+// plain per-model path.
+func (m *Model) observe(st simtime.Stamp, activity float64, memo *columnMemo) {
 	if activity < 0 || activity > 1 || math.IsNaN(activity) {
 		panic(fmt.Sprintf("core: activity %v out of [0,1]", activity))
 	}
@@ -289,13 +297,16 @@ func (m *Model) Observe(st simtime.Stamp, activity float64) {
 
 	siNew := siOld
 	for k := range siNew {
-		v := aStar * u(math.Abs(siNew[k])) // eq. 5
-		if idle {
-			siNew[k] += v
+		// The eq. 5 update, served through the saturation fast path of
+		// batch.go when the cell is provably pinned at ±1 (bit-identical
+		// to the always-exp computation; see the exactness argument
+		// there), and through the column memo when a replicated
+		// neighbour in the same column already computed this triple.
+		if memo != nil {
+			siNew[k] = memo.update(k, siNew[k], aStar, idle)
 		} else {
-			siNew[k] -= v
+			siNew[k] = updateCell(siNew[k], aStar, idle)
 		}
-		siNew[k] = clamp(siNew[k], -1, 1)
 		*cells[k] = siNew[k]
 	}
 	// The mutated SI cells all carry this stamp's hour-of-day; retire

@@ -34,6 +34,9 @@ package dcsim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"drowsydc/internal/cluster"
 	"drowsydc/internal/core"
@@ -125,6 +128,18 @@ type Config struct {
 	// active hour of a request-driven VM carries activity×RequestsPerHour
 	// requests (minimum one). Default 200.
 	RequestsPerHour int
+	// ShardWorkers bounds the worker goroutines of the intra-run sharded
+	// executor: hosts are partitioned into fixed spans (ShardHostSpan)
+	// that play each hour's host and observation phases in parallel,
+	// synchronizing at hour boundaries with a deterministic shard-order
+	// reduction — results are bit-identical for every worker count.
+	// 1 runs the phases inline (serial); 0 selects a GOMAXPROCS bound.
+	ShardWorkers int
+	// ShardHostSpan is the number of consecutive hosts per shard
+	// (0 = 64). The shard partition depends only on the fleet size,
+	// never on ShardWorkers, so the worker count cannot change which
+	// state is grouped — only how many shards advance at once.
+	ShardHostSpan int
 	// DisableColocation skips the hourly colocation-matrix update. The
 	// matrix is Figure 2's artifact and costs O(VMs²) per simulated hour
 	// — negligible on the 8-VM testbed, the single largest CPU item on a
@@ -187,6 +202,9 @@ func (c Config) withDefaults() Config {
 	if c.TimerScanHorizonHours == 0 {
 		c.TimerScanHorizonHours = simtime.HoursPerYear
 	}
+	if c.ShardHostSpan == 0 {
+		c.ShardHostSpan = 64
+	}
 	return c
 }
 
@@ -199,11 +217,57 @@ type hostRT struct {
 	monitor *suspend.Monitor
 	procOf  map[int]int          // VM ID → PID on this host's OS
 	timerAt map[int]simtime.Time // VM ID → registered hr-timer expiry
+	// sh is the shard owning this host: every engine/waking-module/
+	// latency interaction of the host routes through it, so the host
+	// phases of distinct shards touch disjoint state.
+	sh *shard
+	// cidx is the host's index into the runtime's hot-state columns
+	// (cluster.Columns), assigned in Cluster.Hosts() order.
+	cidx int
 	// packetWoken marks that the current hour's resume was triggered by
 	// an inbound request (so the first request pays the wake latency).
 	packetWoken bool
 	// resumedAt is when the host last became fully active.
 	resumedAt simtime.Time
+}
+
+// shard is one partition of the fleet: a fixed span of consecutive
+// hosts (and whichever VMs currently reside on them) advancing one hour
+// independently of the other shards. Each shard owns a full vertical
+// slice of the event-driven machinery — engine, waking-module pair,
+// latency collectors, scratch buffers — so the parallel host and
+// observation phases of an hour share no mutable state across shards;
+// the serial reduction at the hour boundary walks shards in index order
+// for a deterministic merge. The partition is bit-identity-safe because
+// every interaction the runtime generates is shard-local: packet and
+// scheduled wakes are self-wakes of the suspended host (the switch's
+// VM→MAC mappings always reflect current residency — management wakes
+// on migration clear stale entries), same-instant engine events of
+// distinct hosts commute, and all cross-shard effects (placement,
+// colocation, model reads by policies) happen in the serial phases.
+type shard struct {
+	idx    int
+	engine *sim.Engine
+	wm     *waking.Module
+	mirror *waking.Module
+	hosts  []*hostRT // in global Cluster.Hosts() order
+
+	latency     *metrics.LatencyStats
+	wakeLatency *metrics.LatencyStats
+
+	// Reused scratch (each shard advances on one goroutine at a time).
+	actBuf    []float64
+	tlBuf     [][]timeline.Burst
+	awakeBuf  []timeline.Burst
+	wakeBuf   []int
+	obsModels []*core.Model
+	obsActs   []float64
+
+	// eventNow, when nonzero, is the within-hour instant the event-mode
+	// walk is processing; onWoL clamps wake times to it because the
+	// engine clock only advances at hour boundaries.
+	eventNow   simtime.Time
+	eventHours int
 }
 
 // Result aggregates a run's measurements.
@@ -236,35 +300,29 @@ type Result struct {
 // Runner executes one simulation.
 type Runner struct {
 	cfg     Config
-	engine  *sim.Engine
 	cluster *cluster.Cluster
 	policy  cluster.Policy
-	wm      *waking.Module
-	mirror  *waking.Module
+	shards  []*shard
 	rts     map[int]*hostRT // host ID → runtime
+	// cols holds the per-VM/per-host hot state as struct-of-arrays
+	// columns: hourly activity and idle flags (written by the host
+	// phase, read by the observation phase), the keyed IP memo, and the
+	// host awake/suspended flags mirroring the power-state machines.
+	cols *cluster.Columns
+	// slotOf maps a VM ID to its column slot (allVMs order; slots are
+	// never reused after departure).
+	slotOf map[int]int
 	// allVMs fixes the reporting order: the cluster's initial VMs
 	// followed by the scheduled arrivals.
 	allVMs  []*cluster.VM
 	pending []Arrival
 	departs []Departure
 
-	coloc       *metrics.Colocation
-	latency     *metrics.LatencyStats
-	wakeLatency *metrics.LatencyStats
+	coloc *metrics.Colocation
 
-	// Reused per-round scratch (one simulation runs on one goroutine).
+	// Reused per-round scratch of the serial phases.
 	assignBuf []int
 	snapBuf   map[int]int
-	actBuf    []float64
-	tlBuf     [][]timeline.Burst
-	awakeBuf  []timeline.Burst
-	wakeBuf   []int
-
-	// eventNow, when nonzero, is the within-hour instant the event-mode
-	// walk is processing; onWoL clamps wake times to it because the
-	// engine clock only advances at hour boundaries.
-	eventNow   simtime.Time
-	eventHours int
 }
 
 // NewRunner builds a runner for a cluster whose VMs are already
@@ -289,20 +347,24 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 	if cfg.Resolution != ResolutionHourly && cfg.Resolution != ResolutionEvent {
 		panic(fmt.Sprintf("dcsim: unknown resolution %d", int(cfg.Resolution)))
 	}
+	if cfg.ShardWorkers < 0 {
+		panic("dcsim: negative shard workers")
+	}
+	if cfg.ShardHostSpan < 0 {
+		panic("dcsim: negative shard host span")
+	}
 	colocN := len(c.VMs()) + len(cfg.Arrivals)
 	if cfg.DisableColocation {
 		// The n×n matrix would be dead quadratic memory per run.
 		colocN = 0
 	}
 	r := &Runner{
-		cfg:         cfg,
-		engine:      sim.New(),
-		cluster:     c,
-		policy:      policy,
-		rts:         make(map[int]*hostRT),
-		coloc:       metrics.NewColocation(colocN),
-		latency:     metrics.NewLatencyStats(cfg.SLASeconds),
-		wakeLatency: metrics.NewLatencyStats(cfg.SLASeconds),
+		cfg:     cfg,
+		cluster: c,
+		policy:  policy,
+		rts:     make(map[int]*hostRT),
+		slotOf:  make(map[int]int, colocN),
+		coloc:   metrics.NewColocation(colocN),
 	}
 	r.allVMs = append(r.allVMs, c.VMs()...)
 	for _, a := range cfg.Arrivals {
@@ -321,10 +383,14 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 		}
 		r.departs = append(r.departs, d)
 	}
-	start := cfg.StartHour.Start()
-	if start > 0 {
-		r.engine.RunUntil(start)
+	for i, v := range r.allVMs {
+		if _, dup := r.slotOf[v.ID]; dup {
+			panic(fmt.Sprintf("dcsim: duplicate VM ID %d", v.ID))
+		}
+		r.slotOf[v.ID] = i
 	}
+	r.cols = cluster.NewColumns(len(r.allVMs), len(c.Hosts()))
+	start := cfg.StartHour.Start()
 	// The waking module's scheduled-wake lead must cover the slowest
 	// host of the fleet, so ahead-of-time WoLs land early enough
 	// everywhere.
@@ -338,10 +404,29 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 	if lead < 1 {
 		lead = 1
 	}
-	r.wm = waking.New("rack0", r.engine, lead, r.onWoL)
-	r.mirror = waking.New("rack0-mirror", r.engine, lead, r.onWoL)
-	waking.Pair(r.wm, r.mirror)
-	for _, h := range c.Hosts() {
+	// Partition the hosts into fixed spans. The span — and with it every
+	// shard's host set, engine, and waking-module pair — depends only on
+	// the fleet size and ShardHostSpan, never on ShardWorkers.
+	numShards := (len(c.Hosts()) + cfg.ShardHostSpan - 1) / cfg.ShardHostSpan
+	if numShards == 0 {
+		numShards = 1
+	}
+	for s := 0; s < numShards; s++ {
+		sh := &shard{
+			idx:         s,
+			engine:      sim.New(),
+			latency:     metrics.NewLatencyStats(cfg.SLASeconds),
+			wakeLatency: metrics.NewLatencyStats(cfg.SLASeconds),
+		}
+		if start > 0 {
+			sh.engine.RunUntil(start)
+		}
+		sh.wm = waking.New(fmt.Sprintf("rack%d", s), sh.engine, lead, r.onWoL)
+		sh.mirror = waking.New(fmt.Sprintf("rack%d-mirror", s), sh.engine, lead, r.onWoL)
+		waking.Pair(sh.wm, sh.mirror)
+		r.shards = append(r.shards, sh)
+	}
+	for i, h := range c.Hosts() {
 		os := ossim.New(0)
 		os.Blacklist("monitord", "watchdog")
 		os.Spawn("monitord", ossim.StateRunning)
@@ -349,6 +434,7 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 		if p, ok := cfg.HostProfiles[h.ID]; ok {
 			profile = p
 		}
+		sh := r.shards[i/cfg.ShardHostSpan]
 		rt := &hostRT{
 			host:    h,
 			profile: profile,
@@ -361,19 +447,27 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 			}, os),
 			procOf:  make(map[int]int),
 			timerAt: make(map[int]simtime.Time),
+			sh:      sh,
+			cidx:    i,
 		}
 		rt.monitor.OnResume(start, 0.5)
 		rt.resumedAt = start
+		r.cols.SetHostAwake(i, true) // machines start active
+		sh.hosts = append(sh.hosts, rt)
 		r.rts[h.ID] = rt
 	}
 	return r
 }
 
-// WakingModule exposes the primary waking module (for fault-injection
-// experiments).
-func (r *Runner) WakingModule() *waking.Module { return r.wm }
+// WakingModule exposes the first shard's primary waking module (for
+// fault-injection experiments, whose fleets fit one shard).
+func (r *Runner) WakingModule() *waking.Module { return r.shards[0].wm }
 
 // onWoL handles a Wake-on-LAN delivery: the suspended host resumes.
+// WoLs are generated by the host's own shard (packet and scheduled
+// wakes are self-wakes) or by the serial management phases, so the
+// state it touches — the host, its shard's engine clock and waking
+// module, the host's column slots — is never contended.
 func (r *Runner) onWoL(mac netsim.MAC) {
 	rt, ok := r.rts[int(mac)]
 	if !ok {
@@ -382,13 +476,14 @@ func (r *Runner) onWoL(mac netsim.MAC) {
 	if rt.machine.State() != power.StateSuspended && rt.machine.State() != power.StateOff {
 		return // already awake or mid-transition; duplicate WoL
 	}
+	sh := rt.sh
 	// The wake instant is the engine clock, clamped forward to the
 	// event-mode walk's within-hour cursor (the engine only advances at
 	// hour boundaries) and to the machine's last accounted instant (a
 	// scheduled WoL can land inside the tail of a just-completed
 	// suspension: the host cannot resume before it finished suspending).
-	now := float64(r.engine.Now())
-	if en := float64(r.eventNow); en > now {
+	now := float64(sh.engine.Now())
+	if en := float64(sh.eventNow); en > now {
 		now = en
 	}
 	if la := rt.machine.LastAccounted(); la > now {
@@ -397,9 +492,37 @@ func (r *Runner) onWoL(mac netsim.MAC) {
 	rt.machine.Transition(now, power.StateResuming)
 	rt.machine.Transition(now+rt.profile.ResumeLatency, power.StateActive)
 	rt.resumedAt = simtime.Time(math.Ceil(now + rt.profile.ResumeLatency))
+	r.cols.SetHostSuspended(rt.cidx, false)
+	r.cols.SetHostAwake(rt.cidx, true)
 	hr := simtime.HourOf(simtime.Time(now))
-	rt.monitor.OnResume(rt.resumedAt, rt.host.Probability(hr))
-	r.wm.HostResumed(mac)
+	rt.monitor.OnResume(rt.resumedAt, r.hostProbability(rt, hr))
+	sh.wm.HostResumed(mac)
+}
+
+// hostProbability computes the host's normalized idleness probability
+// for hour hr — cluster.Host.Probability bit for bit: the mean of the
+// resident VMs' IPs in residency order, mapped onto [0, 1]. Per-VM IPs
+// are served from the columns' keyed memo; the key pairs the hour with
+// the observation epoch (bumped after every observe phase), so a hit
+// is guaranteed to be the value IPAt would compute against the models'
+// current state.
+func (r *Runner) hostProbability(rt *hostRT, hr simtime.Hour) float64 {
+	vms := rt.host.VMs()
+	if len(vms) == 0 {
+		return 0.5 // empty host: IP 0 (undetermined)
+	}
+	key := r.cols.IPMemoKey(hr)
+	sum := 0.0
+	for _, v := range vms {
+		slot := r.slotOf[v.ID]
+		ip, ok := r.cols.IPMemo(slot, key)
+		if !ok {
+			ip = v.Model.IPAt(hr)
+			r.cols.StoreIPMemo(slot, key, ip)
+		}
+		sum += ip
+	}
+	return (sum/float64(len(vms)) + 1) / 2
 }
 
 // Run executes the configured number of hours and returns the results.
@@ -427,9 +550,14 @@ func (r *Runner) Run() *Result {
 	for i := 0; i < r.cfg.Hours; i++ {
 		hr := r.cfg.StartHour + simtime.Hour(i)
 		t0 := hr.Start()
-		// Fire scheduled wakes due before this hour (the waking module's
-		// ahead-of-time WoLs).
-		r.engine.RunUntil(t0)
+		// Fire scheduled wakes due before this hour (the waking modules'
+		// ahead-of-time WoLs). Serial, in shard order: the handful of
+		// due events per hour is cheap, and same-instant wakes of
+		// distinct hosts commute, so the per-shard walk reproduces the
+		// single-engine walk exactly.
+		for _, sh := range r.shards {
+			sh.engine.RunUntil(t0)
+		}
 
 		// VM creations scheduled for this hour (Nova path).
 		rest := r.pending[:0]
@@ -475,30 +603,96 @@ func (r *Runner) Run() *Result {
 			r.coloc.RecordHour(r.assignmentsAll())
 		}
 
-		// Play the hour on every host.
-		for _, h := range c.Hosts() {
-			r.playHour(r.rts[h.ID], hr, t0)
-		}
+		// Parallel host phase: each shard plays the hour on its hosts in
+		// global order. Shards share no mutable state here — wakes are
+		// self-wakes on the shard's own engine and waking module, latency
+		// lands in shard-local collectors, and the activity columns are
+		// written at disjoint slots (a VM's slot belongs to its current
+		// host's shard; placement only changes in the serial phases).
+		r.parFor(len(r.shards), func(s int) {
+			sh := r.shards[s]
+			for _, rt := range sh.hosts {
+				r.playHour(rt, hr, t0)
+			}
+		})
 
-		// Hour is over: feed the idleness models and the detectors. The
-		// calendar stamp is shared across VMs (it only depends on hr).
+		// Parallel observation phase: feed the idleness models from the
+		// activity columns, one batched pass per shard (host-major, so a
+		// model is touched by exactly one shard). Models are mutually
+		// independent, so the host-major order observes the same bits
+		// the serial VM-order loop would. The calendar stamp is shared
+		// across VMs (it only depends on hr).
 		st := hr.Stamp()
-		for _, v := range c.VMs() {
-			v.Model.Observe(st, v.Activity(hr))
-		}
+		r.parFor(len(r.shards), func(s int) {
+			sh := r.shards[s]
+			sh.obsModels = sh.obsModels[:0]
+			sh.obsActs = sh.obsActs[:0]
+			for _, rt := range sh.hosts {
+				for _, v := range rt.host.VMs() {
+					sh.obsModels = append(sh.obsModels, v.Model)
+					sh.obsActs = append(sh.obsActs, r.cols.Activity(r.slotOf[v.ID]))
+				}
+			}
+			core.ObserveColumn(st, sh.obsModels, sh.obsActs)
+		})
+		// Serial reduction: the models advanced an epoch, retiring every
+		// memoized IP; then the hourly recorders and heartbeats run in
+		// deterministic order.
+		r.cols.AdvanceIPEpoch()
 		if rec, ok := r.policy.(cluster.HourRecorder); ok {
 			rec.RecordHour(c, hr)
 		}
-		r.wm.Heartbeat()
-		r.mirror.Heartbeat()
+		for _, sh := range r.shards {
+			sh.wm.Heartbeat()
+			sh.mirror.Heartbeat()
+		}
 	}
 
 	end := (r.cfg.StartHour + simtime.Hour(r.cfg.Hours)).Start()
-	r.engine.RunUntil(end)
+	for _, sh := range r.shards {
+		sh.engine.RunUntil(end)
+	}
 	for _, rt := range r.rts {
 		rt.machine.Finish(float64(end))
 	}
 	return r.collect()
+}
+
+// parFor runs fn(0..n-1) across the configured shard workers: inline
+// when the effective worker count is 1 (ShardWorkers 1, a single shard,
+// or a single-CPU GOMAXPROCS default) — the serial path adds zero
+// scheduling overhead — and on a work-stealing worker pool otherwise.
+// fn must touch only state owned by index i.
+func (r *Runner) parFor(n int, fn func(int)) {
+	workers := r.cfg.ShardWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // assignmentsAll maps every expected VM (initial + arrivals) to its
@@ -577,15 +771,24 @@ func (r *Runner) applyPlacementChanges(before map[int]int) {
 
 // wakeForManagement resumes a suspended/off host for a management
 // operation (migration endpoint), without request-latency accounting.
+// The awake column pre-screens the common case — the host is running —
+// without touching the power machine; the state re-check keeps the
+// transient states (suspending/resuming) out, exactly as before.
 func (r *Runner) wakeForManagement(rt *hostRT) {
+	if r.cols.HostAwake(rt.cidx) {
+		return
+	}
 	if s := rt.machine.State(); s == power.StateSuspended || s == power.StateOff {
 		r.onWoL(netsim.MAC(rt.host.ID))
 	}
 }
 
-// playHour simulates one host for one hour starting at t0.
+// playHour simulates one host for one hour starting at t0. It runs on
+// the host's shard (possibly concurrently with other shards' hosts)
+// and touches only shard-owned state plus the host's own column slots.
 func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 	h := rt.host
+	sh := rt.sh
 	rt.packetWoken = false
 
 	// Empty host: power it off (plain consolidation behaviour, enabled
@@ -600,9 +803,11 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 		switch rt.machine.State() {
 		case power.StateActive:
 			rt.machine.Transition(from, power.StateOff)
+			r.cols.SetHostAwake(rt.cidx, false)
 		case power.StateSuspended:
 			rt.machine.Transition(from, power.StateOff)
-			r.wm.HostResumed(netsim.MAC(h.ID)) // clear stale mappings
+			r.cols.SetHostSuspended(rt.cidx, false)
+			sh.wm.HostResumed(netsim.MAC(h.ID)) // clear stale mappings
 		}
 		return
 	}
@@ -611,16 +816,19 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 	// below consult this hour's levels): any VM above the noise floor
 	// pins the host awake for the whole hour. The utilization sum
 	// accumulates in h.VMs() order, exactly as Host.Utilization does.
+	// Levels and idle flags land in the activity columns for the
+	// observation phase (and diagnostics) to sweep.
 	vms := h.VMs()
-	if cap(r.actBuf) < len(vms) {
-		r.actBuf = make([]float64, len(vms))
+	if cap(sh.actBuf) < len(vms) {
+		sh.actBuf = make([]float64, len(vms))
 	}
-	acts := r.actBuf[:len(vms)]
+	acts := sh.actBuf[:len(vms)]
 	busyHour := false
 	demand := 0.0
 	for i, v := range vms {
 		a := v.Activity(hr)
 		acts[i] = a
+		r.cols.SetActivity(r.slotOf[v.ID], a, a < core.DefaultNoiseFloor)
 		if a >= core.DefaultNoiseFloor {
 			busyHour = true
 		}
@@ -676,7 +884,7 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 		// wake is woken by the first inbound request.
 		if state == power.StateSuspended || state == power.StateOff {
 			if first != nil && !first.TimerDriven {
-				r.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(first.ID)})
+				sh.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(first.ID)})
 			}
 			// The packet may have hit a stale mapping (the switch only
 			// updates VM→MAC on suspension) or the VM is timer-driven
@@ -764,12 +972,14 @@ func (r *Runner) maybeSuspendUntil(rt *hostRT, from, limit simtime.Time) {
 	}
 	rt.machine.Transition(float64(suspendAt), power.StateSuspending)
 	rt.machine.Transition(done, power.StateSuspended)
+	r.cols.SetHostAwake(rt.cidx, false)
+	r.cols.SetHostSuspended(rt.cidx, true)
 	rt.monitor.OnSuspend()
 	vms := make([]netsim.VMID, 0, rt.host.NumVMs())
 	for _, v := range rt.host.VMs() {
 		vms = append(vms, netsim.VMID(v.ID))
 	}
-	r.wm.HostSuspended(netsim.MAC(rt.host.ID), vms, d.WakeAt, d.HasWake)
+	rt.sh.wm.HostSuspended(netsim.MAC(rt.host.ID), vms, d.WakeAt, d.HasWake)
 }
 
 // playHourEvents simulates one busy hour of a host at event
@@ -791,22 +1001,23 @@ func (r *Runner) maybeSuspendUntil(rt *hostRT, from, limit simtime.Time) {
 // and quanta, model observations and placement stay hourly, because
 // the idleness model's resolution is the hour by design.
 func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vms []*cluster.VM, acts []float64, util float64) bool {
-	r.tlBuf = r.tlBuf[:0]
+	sh := rt.sh
+	sh.tlBuf = sh.tlBuf[:0]
 	for i, v := range vms {
 		if acts[i] >= core.DefaultNoiseFloor {
-			r.tlBuf = append(r.tlBuf, v.Bursts(hr))
+			sh.tlBuf = append(sh.tlBuf, v.Bursts(hr))
 		}
 	}
-	awake := timeline.Union(r.awakeBuf[:0], r.tlBuf...)
-	r.awakeBuf = awake[:0]
+	awake := timeline.Union(sh.awakeBuf[:0], sh.tlBuf...)
+	sh.awakeBuf = awake[:0]
 	if len(awake) == 0 {
 		return false
 	}
 	if awake[0].Start == 0 && awake[0].End == timeline.SecondsPerHour {
 		return false // no within-hour transitions; the hourly path is exact
 	}
-	r.eventHours++
-	defer func() { r.eventNow = 0 }()
+	sh.eventHours++
+	defer func() { sh.eventNow = 0 }()
 
 	// Bursts run at full tilt: the hour's utilization compresses into
 	// the awake seconds, clamped at capacity.
@@ -815,10 +1026,10 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 		eventUtil = 1
 	}
 
-	if cap(r.wakeBuf) < len(vms) {
-		r.wakeBuf = make([]int, len(vms))
+	if cap(sh.wakeBuf) < len(vms) {
+		sh.wakeBuf = make([]int, len(vms))
 	}
-	wakes := r.wakeBuf[:len(vms)]
+	wakes := sh.wakeBuf[:len(vms)]
 	for i := range wakes {
 		wakes[i] = 0
 	}
@@ -845,7 +1056,7 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 		// engine only reaches at the next boundary — would lose to the
 		// packet fallback and the host would resume late.
 		r.fireDueScheduledWake(rt, s)
-		r.eventNow = s
+		sh.eventNow = s
 		if st := rt.machine.State(); st == power.StateSuspended || st == power.StateOff {
 			// The burst's first request wakes the host (the sub-hourly
 			// form of the hourly path's packet wake), falling back to a
@@ -853,7 +1064,7 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 			// VM with a missed date.
 			fi := firstBurstIdx(vms, acts, hr, awake[k].Start)
 			if fi >= 0 {
-				r.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(vms[fi].ID)})
+				sh.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(vms[fi].ID)})
 			}
 			if st := rt.machine.State(); st == power.StateSuspended || st == power.StateOff {
 				r.onWoL(netsim.MAC(rt.host.ID))
@@ -904,15 +1115,16 @@ func (r *Runner) fireDueScheduledWake(rt *hostRT, limit simtime.Time) {
 	if s := rt.machine.State(); s != power.StateSuspended && s != power.StateOff {
 		return
 	}
+	sh := rt.sh
 	mac := netsim.MAC(rt.host.ID)
-	due, ok := r.wm.ScheduledFire(mac)
+	due, ok := sh.wm.ScheduledFire(mac)
 	if !ok || due > limit {
 		return
 	}
-	prev := r.eventNow
-	r.eventNow = due
-	r.wm.FireScheduled(mac)
-	r.eventNow = prev
+	prev := sh.eventNow
+	sh.eventNow = due
+	sh.wm.FireScheduled(mac)
+	sh.eventNow = prev
 }
 
 // setEventProcs flips the floor-active VMs' processes between running
@@ -963,6 +1175,7 @@ func firstBurstIdx(vms []*cluster.VM, acts []float64, hr simtime.Hour, sec int) 
 // the machine-level PacketWakes counter — so the hour's sample count
 // is max(n, wakes), never less than the hourly model's n.
 func (r *Runner) recordEventRequests(rt *hostRT, vms []*cluster.VM, acts []float64, wakes []int) {
+	sh := rt.sh
 	penalty := rt.profile.ResumeLatency
 	if r.cfg.NaiveResume {
 		penalty = rt.profile.NaiveResumeLatency
@@ -982,11 +1195,11 @@ func (r *Runner) recordEventRequests(rt *hostRT, vms []*cluster.VM, acts []float
 		}
 		lat := r.cfg.ServiceSeconds + penalty
 		for j := 0; j < w; j++ {
-			r.wakeLatency.Record(lat)
-			r.latency.Record(lat)
+			sh.wakeLatency.Record(lat)
+			sh.latency.Record(lat)
 		}
 		if rest := n - w; rest > 0 {
-			r.latency.RecordN(r.cfg.ServiceSeconds, rest)
+			sh.latency.RecordN(r.cfg.ServiceSeconds, rest)
 		}
 	}
 }
@@ -1031,11 +1244,11 @@ func (r *Runner) recordRequests(rt *hostRT, vms []*cluster.VM, acts []float64, f
 		// of the packet-woken VM, which pays the resume latency on top.
 		if v == first && wakePenalty > 0 {
 			lat := r.cfg.ServiceSeconds + wakePenalty
-			r.wakeLatency.Record(lat)
-			r.latency.Record(lat)
+			rt.sh.wakeLatency.Record(lat)
+			rt.sh.latency.Record(lat)
 			n--
 		}
-		r.latency.RecordN(r.cfg.ServiceSeconds, n)
+		rt.sh.latency.RecordN(r.cfg.ServiceSeconds, n)
 	}
 }
 
@@ -1050,16 +1263,30 @@ func (r *Runner) nextActiveHour(v *cluster.VM, from simtime.Hour) (simtime.Hour,
 	return 0, false
 }
 
-// collect assembles the result.
+// collect assembles the result: per-host figures in global host order,
+// shard-owned aggregates reduced in shard order. Both orders are fixed,
+// and every reduction (latency multiset merge, counter sums) is
+// order-independent anyway, so the result is bit-identical for any
+// worker count — including the pre-shard serial runtime.
 func (r *Runner) collect() *Result {
 	c := r.cluster
+	latency := metrics.NewLatencyStats(r.cfg.SLASeconds)
+	wakeLatency := metrics.NewLatencyStats(r.cfg.SLASeconds)
 	res := &Result{
 		Policy:      r.policy.Name(),
 		Hours:       r.cfg.Hours,
 		Coloc:       r.coloc,
-		Latency:     r.latency,
-		WakeLatency: r.wakeLatency,
+		Latency:     latency,
+		WakeLatency: wakeLatency,
 		Migrations:  c.Migrations(),
+	}
+	for _, sh := range r.shards {
+		latency.Merge(sh.latency)
+		wakeLatency.Merge(sh.wakeLatency)
+		scheduled, packet, _ := sh.wm.Stats()
+		res.ScheduledWakes += scheduled
+		res.PacketWakes += packet
+		res.EventHours += sh.eventHours
 	}
 	for _, v := range r.allVMs {
 		res.PerVMMigrations = append(res.PerVMMigrations, v.Migrations())
@@ -1077,7 +1304,5 @@ func (r *Runner) collect() *Result {
 	if n := len(c.Hosts()); n > 0 {
 		res.GlobalSuspFrac = suspSum / float64(n)
 	}
-	res.ScheduledWakes, res.PacketWakes, _ = r.wm.Stats()
-	res.EventHours = r.eventHours
 	return res
 }

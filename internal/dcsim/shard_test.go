@@ -1,0 +1,203 @@
+package dcsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/drowsy"
+	"drowsydc/internal/power"
+	"drowsydc/internal/trace"
+)
+
+// shardedFleet builds a deterministic mixed fleet large enough to span
+// several shards at small ShardHostSpan values: hosts 2-slot machines,
+// VMs cycling through the trace catalog so shards see heterogeneous
+// activity (some hosts sleep, some stay pinned awake by LLMU tenants).
+func shardedFleet(hosts int) *cluster.Cluster {
+	c := cluster.New()
+	for i := 0; i < hosts; i++ {
+		c.AddHost(cluster.NewHost(i, fmt.Sprintf("H%d", i), 16, 4, 2))
+	}
+	gens := []func(i int) trace.Generator{
+		func(i int) trace.Generator { return trace.RealTrace(1 + i%5) },
+		func(i int) trace.Generator { return trace.DailyBackup(0.4) },
+		func(i int) trace.Generator { return trace.LLMU(uint64(7 + i)) },
+		func(i int) trace.Generator { return trace.RealTrace(1 + (i+2)%5) },
+	}
+	kinds := []cluster.Kind{cluster.KindLLMI, cluster.KindLLMI, cluster.KindLLMU, cluster.KindLLMI}
+	for i := 0; i < hosts; i++ {
+		g := i % len(gens)
+		v := cluster.NewVM(i, fmt.Sprintf("v%d", i), kinds[g], 6, 2, gens[g](i))
+		c.AddVM(v)
+		_ = c.Place(v, c.Hosts()[i])
+	}
+	return c
+}
+
+// runSharded runs a drowsy simulation over the given fleet with an
+// explicit worker count and shard span.
+func runSharded(hosts, hours, workers, span int, churn bool) *Result {
+	c := shardedFleet(hosts)
+	cfg := Config{
+		Hours:         hours,
+		EnableSuspend: true,
+		UseGrace:      true,
+		ShardWorkers:  workers,
+		ShardHostSpan: span,
+	}
+	if churn {
+		// Arrivals and departures landing on *different shards in the
+		// same hour*: with span 2, VM 0 lives on shard 0 and the last VM
+		// on the last shard; the newcomers get policy-placed wherever
+		// fits, and the same-hour departures empty hosts at both ends of
+		// the shard order.
+		n1 := cluster.NewVM(1000, "n1", cluster.KindLLMI, 6, 2, trace.RealTrace(2))
+		n2 := cluster.NewVM(1001, "n2", cluster.KindSLMU, 6, 2, trace.SLMU(48, 96, 0.9))
+		cfg.Arrivals = []Arrival{{At: 48, VM: n1}, {At: 48, VM: n2}}
+		cfg.Departures = []Departure{
+			{At: 96, VM: c.VMs()[0]},
+			{At: 96, VM: c.VMs()[hosts-1]},
+			{At: 96, VM: n2},
+		}
+	}
+	return NewRunner(cfg, c, drowsy.New(drowsy.Options{FullRelocation: true})).Run()
+}
+
+// requireIdenticalResults asserts two runs are bit-identical, field by
+// field, so a mismatch names the diverging aggregate instead of
+// reporting an opaque DeepEqual failure.
+func requireIdenticalResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.EnergyKWh != got.EnergyKWh {
+		t.Errorf("%s: energy %v != %v", label, got.EnergyKWh, want.EnergyKWh)
+	}
+	if !reflect.DeepEqual(want.HostEnergyKWh, got.HostEnergyKWh) {
+		t.Errorf("%s: per-host energy diverged", label)
+	}
+	if !reflect.DeepEqual(want.SuspendedFrac, got.SuspendedFrac) ||
+		want.GlobalSuspFrac != got.GlobalSuspFrac {
+		t.Errorf("%s: suspension accounting diverged", label)
+	}
+	if !reflect.DeepEqual(want.SuspendCounts, got.SuspendCounts) {
+		t.Errorf("%s: suspend counts diverged", label)
+	}
+	if want.Migrations != got.Migrations ||
+		!reflect.DeepEqual(want.PerVMMigrations, got.PerVMMigrations) {
+		t.Errorf("%s: migrations diverged", label)
+	}
+	if !reflect.DeepEqual(want.Latency, got.Latency) {
+		t.Errorf("%s: latency multiset diverged", label)
+	}
+	if !reflect.DeepEqual(want.WakeLatency, got.WakeLatency) {
+		t.Errorf("%s: wake-latency multiset diverged", label)
+	}
+	if want.ScheduledWakes != got.ScheduledWakes || want.PacketWakes != got.PacketWakes {
+		t.Errorf("%s: wake counters diverged (%d/%d != %d/%d)", label,
+			got.ScheduledWakes, got.PacketWakes, want.ScheduledWakes, want.PacketWakes)
+	}
+	if want.EventHours != got.EventHours {
+		t.Errorf("%s: event hours %d != %d", label, got.EventHours, want.EventHours)
+	}
+	if !reflect.DeepEqual(want.Coloc, got.Coloc) {
+		t.Errorf("%s: colocation matrix diverged", label)
+	}
+}
+
+// TestShardWorkerCountEquivalence is the tentpole's core contract: the
+// sharded parallel executor is bit-identical to the serial walk at
+// every worker count. 24 hosts at span 5 → 5 shards, the last one
+// ragged.
+func TestShardWorkerCountEquivalence(t *testing.T) {
+	serial := runSharded(24, 7*24, 1, 5, false)
+	for _, workers := range []int{2, 8} {
+		par := runSharded(24, 7*24, workers, 5, false)
+		requireIdenticalResults(t, fmt.Sprintf("workers=%d", workers), serial, par)
+	}
+}
+
+// TestShardSpanEquivalence: the shard partition itself must be
+// invisible — one giant shard, per-host shards and the default span
+// all reproduce the same run.
+func TestShardSpanEquivalence(t *testing.T) {
+	want := runSharded(12, 5*24, 1, 1024, false) // single shard
+	for _, span := range []int{1, 2, 64} {
+		got := runSharded(12, 5*24, 4, span, false)
+		requireIdenticalResults(t, fmt.Sprintf("span=%d", span), want, got)
+	}
+}
+
+// TestCrossShardChurnEquivalence drives arrivals and departures that
+// land on different shards in the same hour (span 2 → 8 shards over 16
+// hosts) and checks the parallel run remains bit-identical to serial
+// and structurally sound. Run under -race this also proves the serial
+// churn phases publish their placement mutations to the parallel host
+// phase correctly.
+func TestCrossShardChurnEquivalence(t *testing.T) {
+	serial := runSharded(16, 7*24, 1, 2, true)
+	for _, workers := range []int{2, 8} {
+		par := runSharded(16, 7*24, workers, 2, true)
+		requireIdenticalResults(t, fmt.Sprintf("churn workers=%d", workers), serial, par)
+	}
+	if len(serial.PerVMMigrations) != 16+2 {
+		t.Fatalf("reporting covers %d VMs, want 18", len(serial.PerVMMigrations))
+	}
+}
+
+// TestColumnsMirrorMachineState: the awake/suspended hot columns are a
+// cache of the per-host power state machines; after a suspend-heavy
+// multi-shard run every flag must agree with the authoritative state.
+func TestColumnsMirrorMachineState(t *testing.T) {
+	c := shardedFleet(16)
+	r := NewRunner(Config{
+		Hours: 5 * 24, EnableSuspend: true, UseGrace: true,
+		ShardWorkers: 4, ShardHostSpan: 3,
+	}, c, drowsy.New(drowsy.Options{FullRelocation: true}))
+	res := r.Run()
+	if res.GlobalSuspFrac <= 0 {
+		t.Fatal("fleet never suspended; test exercises nothing")
+	}
+	for _, rt := range r.rts {
+		st := rt.machine.State()
+		if got, want := r.cols.HostAwake(rt.cidx), st == power.StateActive; got != want {
+			t.Errorf("host %d: awake column %v, machine state %v", rt.host.ID, got, st)
+		}
+		if got, want := r.cols.HostSuspended(rt.cidx), st == power.StateSuspended; got != want {
+			t.Errorf("host %d: suspended column %v, machine state %v", rt.host.ID, got, st)
+		}
+	}
+}
+
+// TestAssignmentsAllReusesBuffer pins the per-hour colocation snapshot
+// to its pooled buffer: after the first call, taking an assignment
+// snapshot must not allocate. (The pooling itself landed with the
+// colocation fast path; this regression test is what was still
+// missing.)
+func TestAssignmentsAllReusesBuffer(t *testing.T) {
+	c := shardedFleet(8)
+	r := NewRunner(Config{Hours: 24, ShardHostSpan: 2},
+		c, drowsy.New(drowsy.Options{FullRelocation: true}))
+	r.assignmentsAll() // first call grows the buffer
+	if n := testing.AllocsPerRun(50, func() { r.assignmentsAll() }); n != 0 {
+		t.Fatalf("assignmentsAll allocates %v times per call after warm-up", n)
+	}
+}
+
+// TestShardWorkerValidation: negative worker or span counts are
+// programmer errors, rejected at construction.
+func TestShardWorkerValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Hours: 1, ShardWorkers: -1},
+		{Hours: 1, ShardHostSpan: -4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewRunner(cfg, shardedFleet(2), drowsy.New(drowsy.Options{}))
+		}()
+	}
+}

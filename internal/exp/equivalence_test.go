@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"reflect"
 	"testing"
 
 	"drowsydc/internal/dcsim"
+	"drowsydc/internal/simtime"
 )
 
 // runTestbedCaching runs the testbed scenario with per-VM activity
@@ -94,6 +96,30 @@ func TestScalingParallelDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Errorf("scale point %d differs serial vs parallel: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTrainHoursParallelIdentical pins the chunked, column-batched
+// trainer to the naive per-VM/per-hour Observe walk: every model must
+// come out bit-identical at any worker count. (The column sweep rides
+// the same exactness-guarded fast paths as the simulation runtime, so
+// "close" would mean a broken guard — only exact equality passes.)
+func TestTrainHoursParallelIdentical(t *testing.T) {
+	const n, hours = 130, 48 // 130 VMs → three chunks, the last ragged
+	naive := ScalingCluster(n)
+	for h := simtime.Hour(0); h < hours; h++ {
+		for _, v := range naive.VMs() {
+			v.Observe(h, v.Activity(h))
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		c := ScalingCluster(n)
+		trainHoursWorkers(c, hours, workers)
+		for i, v := range c.VMs() {
+			if !reflect.DeepEqual(v.Model, naive.VMs()[i].Model) {
+				t.Fatalf("workers=%d: VM %d model diverges from the naive trainer", workers, i)
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"drowsydc/internal/cluster"
+	"drowsydc/internal/core"
 	"drowsydc/internal/dcsim"
 	"drowsydc/internal/drowsy"
 	"drowsydc/internal/oasis"
@@ -218,12 +219,37 @@ func seedPlacement(c *cluster.Cluster) {
 	}
 }
 
-func trainHours(c *cluster.Cluster, hours int) {
-	for h := simtime.Hour(0); h < simtime.Hour(hours); h++ {
-		for _, v := range c.VMs() {
-			v.Observe(h, v.Activity(h))
+// trainHours feeds every VM its first `hours` activity samples,
+// bringing the idleness models to the trained state the consolidation
+// measurements start from. Models never share state, so VM chunks
+// train independently on the worker pool; within a chunk the walk is
+// hour-major and each hour's observations batch into one
+// core.ObserveColumn sweep (replicated VMs collapse their exponential
+// updates into the column memo). Bit-identical to the plain
+// per-VM/per-hour Observe loop at any worker count.
+func trainHours(c *cluster.Cluster, hours int) { trainHoursWorkers(c, hours, 0) }
+
+// trainHoursWorkers is trainHours with an explicit worker bound
+// (0 = GOMAXPROCS, 1 = serial).
+func trainHoursWorkers(c *cluster.Cluster, hours, workers int) {
+	vms := c.VMs()
+	const chunk = 64
+	chunks := (len(vms) + chunk - 1) / chunk
+	ParMap(workers, chunks, func(ci int) struct{} {
+		part := vms[ci*chunk : min((ci+1)*chunk, len(vms))]
+		models := make([]*core.Model, len(part))
+		acts := make([]float64, len(part))
+		for i, v := range part {
+			models[i] = v.Model
 		}
-	}
+		for h := simtime.Hour(0); h < simtime.Hour(hours); h++ {
+			for i, v := range part {
+				acts[i] = v.Activity(h)
+			}
+			core.ObserveColumn(simtime.Decompose(h), models, acts)
+		}
+		return struct{}{}
+	})
 }
 
 // RenderScaling prints the complexity comparison.

@@ -286,6 +286,30 @@ func (l *LatencyStats) RecordN(seconds float64, n int) {
 	}
 }
 
+// Merge accumulates another collector's samples into l — the shard
+// reduction of the parallel simulation runtime. Every aggregate is
+// order-independent (run-length-encoded multiset, sums, max), so
+// merging per-shard collectors in any fixed order reports exactly what
+// a single collector fed the union of samples would. The SLA targets
+// must match: a mixed-target merge would make withinSLA meaningless.
+func (l *LatencyStats) Merge(o *LatencyStats) {
+	if o == nil {
+		return
+	}
+	if o.slaSeconds != l.slaSeconds {
+		panic(fmt.Sprintf("metrics: merging latency stats with SLA %v into %v",
+			o.slaSeconds, l.slaSeconds))
+	}
+	for v, n := range o.counts {
+		l.counts[v] += n
+	}
+	l.total += o.total
+	l.withinSLA += o.withinSLA
+	if o.max > l.max {
+		l.max = o.max
+	}
+}
+
 // Count returns the number of recorded requests.
 func (l *LatencyStats) Count() int64 { return l.total }
 

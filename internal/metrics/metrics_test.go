@@ -264,6 +264,55 @@ func TestLatencyStatsRejectsInvalid(t *testing.T) {
 	NewLatencyStats(0.2).Record(-1)
 }
 
+// TestLatencyStatsMerge checks the shard-reduction contract: merging
+// per-shard collectors in any order reports exactly what one collector
+// fed the union of samples would.
+func TestLatencyStatsMerge(t *testing.T) {
+	samples := [][]float64{
+		{0.05, 0.05, 1.5, 0.2},
+		{0.05, 0.3},
+		{}, // an idle shard contributes nothing
+		{2.5, 0.05, 0.05, 0.05},
+	}
+	flat := NewLatencyStats(0.2)
+	shards := make([]*LatencyStats, len(samples))
+	for i, ss := range samples {
+		shards[i] = NewLatencyStats(0.2)
+		for _, s := range ss {
+			flat.Record(s)
+			shards[i].Record(s)
+		}
+	}
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 1, 0, 2}} {
+		merged := NewLatencyStats(0.2)
+		for _, i := range order {
+			merged.Merge(shards[i])
+		}
+		merged.Merge(nil) // nil shard is a no-op
+		if merged.Count() != flat.Count() || merged.Max() != flat.Max() ||
+			merged.SLAFraction() != flat.SLAFraction() {
+			t.Fatalf("order %v: merged aggregates diverge from flat", order)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if merged.Quantile(q) != flat.Quantile(q) {
+				t.Fatalf("order %v: quantile %v = %v, flat %v",
+					order, q, merged.Quantile(q), flat.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestLatencyStatsMergeRejectsMixedSLA: merging collectors with
+// different SLA targets would corrupt withinSLA.
+func TestLatencyStatsMergeRejectsMixedSLA(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLatencyStats(0.2).Merge(NewLatencyStats(0.5))
+}
+
 func TestConfusionString(t *testing.T) {
 	c := Confusion{TP: 1, TN: 1}
 	if c.String() == "" {

@@ -18,6 +18,11 @@ type Params struct {
 	// or "event" (empty keeps the family's default — which is hourly
 	// for every family except interactive-web).
 	Resolution string
+	// ShardWorkers sets the intra-run sharded executor's worker bound
+	// (Tuning.ShardWorkers): 0 keeps the runtime serial, values ≥ 1 run
+	// each cell's host and observation phases on that many goroutines.
+	// Results are bit-identical for every value.
+	ShardWorkers int
 }
 
 // Family is a registered scenario constructor: the unit new workload

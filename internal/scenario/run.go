@@ -121,6 +121,13 @@ func runCell(sc Scenario, pc PolicyConfig, stores runStores) *dcsim.Result {
 	for id, p := range profiles {
 		profiles[id] = sc.Tuning.applyProfile(p)
 	}
+	shardWorkers := sc.Tuning.ShardWorkers
+	if shardWorkers == 0 {
+		// Grid cells are the outer parallel axis; the intra-run executor
+		// stays serial unless a caller opts in (results are bit-identical
+		// either way).
+		shardWorkers = 1
+	}
 	return dcsim.NewRunner(dcsim.Config{
 		Profile:         sc.Tuning.applyProfile(power.DefaultProfile()),
 		HostProfiles:    profiles,
@@ -133,6 +140,8 @@ func runCell(sc Scenario, pc PolicyConfig, stores runStores) *dcsim.Result {
 		Resolution:      sc.Resolution,
 		RebalanceEvery:  sc.RebalanceEvery,
 		RequestsPerHour: sc.RequestsPerHour,
+		ShardWorkers:    shardWorkers,
+		ShardHostSpan:   sc.Tuning.shardHostSpan,
 		Arrivals:        arrivals,
 		Departures:      departures,
 		// Scenario reports never read the colocation matrix; its
@@ -190,7 +199,16 @@ func RunFamily(name string, p Params, opt Options) (*Report, error) {
 	if err := applyResolution(&sc, p.Resolution); err != nil {
 		return nil, err
 	}
+	applyShardWorkers(&sc, p.ShardWorkers)
 	return Run(sc, opt)
+}
+
+// applyShardWorkers applies a Params-level shard-worker override (0
+// keeps the scenario's Tuning value).
+func applyShardWorkers(sc *Scenario, n int) {
+	if n != 0 {
+		sc.Tuning.ShardWorkers = n
+	}
 }
 
 // applyResolution applies a Params-level resolution override ("" keeps

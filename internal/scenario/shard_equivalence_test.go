@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The intra-run sharded executor (dcsim ShardWorkers/ShardHostSpan) is
+// a pure execution choice: every registered family must produce
+// byte-identical reports at every worker count and shard partition.
+// These tests are the scenario-level counterpart of the dcsim shard
+// equivalence suite — they cover the full materialize → simulate →
+// assemble path, including churn families and sub-hourly resolution.
+
+// shardReport runs a family at the given scale with an explicit shard
+// worker count and a deliberately small shard span (so even shrunk
+// fleets split into several shards) and returns the marshalled report.
+func shardReport(t *testing.T, name string, hosts, horizonHours, workers int) []byte {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown family %s", name)
+	}
+	sc := f.Build(Params{Hosts: hosts, HorizonHours: horizonHours})
+	sc.Tuning.ShardWorkers = workers
+	sc.Tuning.shardHostSpan = 3
+	rep, err := Run(sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestShardedIdenticalAcrossFamilies compares the serial walk against
+// 2- and 8-worker sharded execution for every registered family at two
+// fleet scales (≈64-VM and ≈250-VM populations, depending on the
+// family's VMs-per-host ratio).
+func TestShardedIdenticalAcrossFamilies(t *testing.T) {
+	for _, f := range Families() {
+		for _, scale := range []struct{ hosts, horizon int }{
+			{16, 5 * 24},
+			{64, 4 * 24},
+		} {
+			serial := shardReport(t, f.Name, scale.hosts, scale.horizon, 1)
+			for _, workers := range []int{2, 8} {
+				got := shardReport(t, f.Name, scale.hosts, scale.horizon, workers)
+				if !bytes.Equal(serial, got) {
+					t.Errorf("%s hosts=%d workers=%d: sharded report diverges from serial\nserial: %s\nsharded: %s",
+						f.Name, scale.hosts, workers, serial, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedIdenticalLargeFleet pushes one representative family to a
+// ~1000-VM population: the scale where the shard partition (span 3 →
+// ~76 shards) and worker pool genuinely interleave.
+func TestShardedIdenticalLargeFleet(t *testing.T) {
+	const hosts, horizon = 228, 3 * 24 // diurnal-office: ~4.5 VMs/host → ~1026 VMs
+	serial := shardReport(t, "diurnal-office", hosts, horizon, 1)
+	for _, workers := range []int{2, 8} {
+		if got := shardReport(t, "diurnal-office", hosts, horizon, workers); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d: large-fleet sharded report diverges from serial", workers)
+		}
+	}
+}
+
+// TestShardedIdenticalHeteroFleetYear runs the flagship year-horizon
+// heterogeneous fleet at its full scale and horizon (224 hosts, ~500
+// VMs, 8760 h) — drowsy column only, to keep the three runs within
+// seconds — and requires byte-identical reports for shard-workers
+// ∈ {1, 2, 8}.
+func TestShardedIdenticalHeteroFleetYear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-horizon year fleet ×3 runs; skipped in -short mode")
+	}
+	run := func(workers int) []byte {
+		f, ok := Lookup("hetero-fleet-year")
+		if !ok {
+			t.Fatal("hetero-fleet-year not registered")
+		}
+		sc := f.Build(Params{})
+		sc.Policies = []PolicyConfig{{Label: "drowsy", Policy: "drowsy", Suspend: true, Grace: true}}
+		sc.Tuning.ShardWorkers = workers
+		rep, err := Run(sc, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d: full-horizon hetero fleet diverges from serial", workers)
+		}
+	}
+}
+
+// TestVMChurnShardedRace exercises the churn family — arrivals and
+// departures crossing shard boundaries — with 8 shard workers over a
+// tiny span, and checks the result against the serial walk. Under the
+// CI -race matrix this is the detector's view of the serial-churn /
+// parallel-host-phase handoff.
+func TestVMChurnShardedRace(t *testing.T) {
+	serial := shardReport(t, "vm-churn", 12, 6*24, 1)
+	for trial := 0; trial < 3; trial++ {
+		if got := shardReport(t, "vm-churn", 12, 6*24, 8); !bytes.Equal(serial, got) {
+			t.Fatalf("trial %d: churn sharded report diverges from serial", trial)
+		}
+	}
+}
+
+// TestParamsShardWorkersApplied pins the Params→Tuning plumbing the
+// CLI -shard-workers flag relies on.
+func TestParamsShardWorkersApplied(t *testing.T) {
+	serial, err := RunFamily("always-on-mix", Params{Hosts: 8, HorizonHours: 3 * 24}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunFamily("always-on-mix",
+		Params{Hosts: 8, HorizonHours: 3 * 24, ShardWorkers: 4}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(sharded)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("ShardWorkers param changed the physics:\nserial: %s\nsharded: %s", a, b)
+	}
+}
+
+// TestShardReportScales documents the populations the family sweep
+// actually covers, guarding against a family rescale silently dropping
+// the suite below the intended ~64/~250-VM scales.
+func TestShardReportScales(t *testing.T) {
+	for _, f := range Families() {
+		sc := f.Build(Params{Hosts: 16, HorizonHours: 24})
+		if n := sc.TotalVMs(); n < 30 {
+			t.Errorf("%s at 16 hosts builds only %d VMs; equivalence coverage too thin", f.Name, n)
+		}
+	}
+	if sc := mustFamily(t, "diurnal-office").Build(Params{Hosts: 228, HorizonHours: 24}); sc.TotalVMs() < 1000 {
+		t.Errorf("large-fleet test builds %d VMs, want >= 1000", sc.TotalVMs())
+	}
+}
+
+func mustFamily(t *testing.T, name string) Family {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown family %s", name)
+	}
+	return f
+}

@@ -61,6 +61,16 @@ type Tuning struct {
 	// (distinguishing a swept 0 — no jitter — from "unset").
 	JitterAmount float64
 	JitterSet    bool
+	// ShardWorkers bounds the intra-run sharded executor's worker
+	// goroutines (dcsim.Config.ShardWorkers). 0 keeps the runtime
+	// serial (1): scenario grids already parallelize across policy
+	// cells, so intra-run workers are an explicit opt-in for big
+	// single-cell fleets. Results are bit-identical for every value.
+	ShardWorkers int
+	// shardHostSpan overrides the hosts-per-shard span (0 = the dcsim
+	// default). Unexported: only the shard-equivalence tests need to
+	// force multi-shard partitions onto small fleets.
+	shardHostSpan int
 }
 
 // applyProfile returns p with the tuned latencies substituted. The
@@ -443,6 +453,7 @@ func RunFamilySweep(name string, p Params, sw Sweep, opt Options) (*SweepReport,
 	if err := applyResolution(&sc, p.Resolution); err != nil {
 		return nil, err
 	}
+	applyShardWorkers(&sc, p.ShardWorkers)
 	sc.Sweep = sw
 	return RunSweep(sc, opt)
 }
