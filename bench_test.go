@@ -457,6 +457,28 @@ func BenchmarkScenarioFamily(b *testing.B) {
 	b.ReportMetric(energy, "drowsy-kWh")
 }
 
+// BenchmarkScenarioLossyWan runs the unreliable-WoL family end to end
+// at reduced scale: every packet wake crosses the seeded drop schedule,
+// the retry timer arithmetic and the core subnet's relay. The reported
+// lost-SLA metric keeps the degradation magnitude visible in bench
+// output; CI's 1x pass keeps the lossy path runnable.
+func BenchmarkScenarioLossyWan(b *testing.B) {
+	b.ReportAllocs()
+	var lostSLA float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenarioFamily("lossy-wan",
+			ScenarioParams{Hosts: 8, HorizonHours: 7 * 24}, ScenarioOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.WakeModel != "lossy" || rep.Policies[0].WakeAttempts == 0 {
+			b.Fatal("no lossy wake traffic")
+		}
+		lostSLA = rep.Policies[0].LostWakeSLASeconds
+	}
+	b.ReportMetric(lostSLA, "lost-sla-s")
+}
+
 // BenchmarkScenarioSweep runs a three-point grace-time sensitivity
 // sweep (3 points × 4 policies = 12 cells) through the sweep subsystem
 // at reduced scale; CI's 1x pass keeps the sweep axis runnable.

@@ -191,6 +191,22 @@ func runBench(args []string) {
 				}
 			}
 		}},
+		// The lossy-delivery overhead entry: the same sub-hourly machinery
+		// with the seeded drop schedule, retry bookkeeping and the relay
+		// subnet on the wake path. Tracked so the netsim layer's per-wake
+		// cost stays visible next to the perfect-delivery families.
+		{"scenario-lossy-wan", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := scenario.RunFamily("lossy-wan", subHourlyParams, scenario.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Policies) == 0 || rep.Policies[0].WakeAttempts == 0 {
+					b.Fatal("no lossy results")
+				}
+			}
+		}},
 	}
 
 	var out []BenchResult

@@ -86,6 +86,48 @@ func TestGoldenScenarioRunSubHourly(t *testing.T) {
 	golden(t, "scenario_run_subhourly_table.golden", b.Bytes())
 }
 
+// TestGoldenScenarioRunLossy pins `drowsyctl scenario run -name
+// lossy-wan -hosts 6 -horizon-days 7` in JSON and table form — the
+// unreliable-WoL report surface: the wake_model marker, the
+// wake-transaction JSON fields and the wake-att/retries/lost/lost-sla-s
+// table columns.
+func TestGoldenScenarioRunLossy(t *testing.T) {
+	p := scenario.Params{Hosts: 6, HorizonHours: 7 * 24}
+	var js bytes.Buffer
+	if err := writeScenarioRun(&js, "lossy-wan", false, p, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_run_lossy.golden", js.Bytes())
+
+	var tbl bytes.Buffer
+	if err := writeScenarioRun(&tbl, "lossy-wan", true, p, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_run_lossy_table.golden", tbl.Bytes())
+}
+
+// TestGoldenScenarioSweepWakeLoss pins `drowsyctl scenario sweep
+// -family lossy-wan -param wake-loss -values 0,0.05,0.2 -hosts 6
+// -horizon-days 7 -table` — the degradation curve with its per-policy
+// retries/lost/lost-sla-s column groups.
+func TestGoldenScenarioSweepWakeLoss(t *testing.T) {
+	var tbl bytes.Buffer
+	if err := writeScenarioSweep(&tbl, "lossy-wan", "wake-loss", "0,0.05,0.2", true,
+		scenario.Params{Hosts: 6, HorizonHours: 7 * 24}, scenario.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "scenario_sweep_wakeloss.golden", tbl.Bytes())
+}
+
+// TestGoldenScenarioParams pins `drowsyctl scenario params` — the sweep
+// catalog downstream scripts parse; a param rename or a dropped entry
+// must show up as a diff, not as a silently shrunk catalog.
+func TestGoldenScenarioParams(t *testing.T) {
+	var b bytes.Buffer
+	listSweepParams(&b)
+	golden(t, "scenario_params.golden", b.Bytes())
+}
+
 // TestGoldenScenarioSweep pins `drowsyctl scenario sweep -family
 // diurnal-office -param grace -values 0,30,120 -hosts 6 -horizon-days 7`
 // output, in both JSON and table form.

@@ -1,0 +1,95 @@
+// Lossy-wan: unreliable Wake-on-LAN through the public API. Every
+// other example assumes a magic packet always arrives; this one walks
+// the network-realism layer. The lossy-wan family splits its fleet
+// into two broadcast domains — a lossy edge subnet and a relay-fronted
+// core — over a seeded delivery fabric: per-attempt packet drops,
+// retry-on-silence with geometric backoff, out-of-band recovery for
+// wakes whose every attempt is lost. The program traces the wake-loss
+// degradation curve, the retry-timeout trade, and the value of
+// relaying everything, all deterministic bit for bit because drops are
+// a pure hash of (seed, MAC, attempt), not samples from an RNG stream.
+//
+// The default scale (16 hosts, two weeks) runs in seconds; grow it
+// with -hosts / -days.
+//
+//	go run ./examples/lossy-wan [-hosts N] [-days N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drowsydc"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 16, "fleet size")
+	days := flag.Int("days", 14, "horizon in days")
+	flag.Parse()
+	p := drowsydc.ScenarioParams{Hosts: *hosts, HorizonHours: *days * 24}
+
+	fmt.Printf("Wake-loss degradation curve on lossy-wan (%d hosts, %d days):\n\n", *hosts, *days)
+	loss, err := drowsydc.RunScenarioSweep("lossy-wan", p,
+		drowsydc.ScenarioSweep{Param: "wake-loss", Values: []float64{0, 0.01, 0.05, 0.2}},
+		drowsydc.ScenarioOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss.RenderTable(os.Stdout)
+
+	fmt.Println()
+	fmt.Printf("Retry-timeout trade at the family's 10%% loss:\n\n")
+	retry, err := drowsydc.RunScenarioSweep("lossy-wan", p,
+		drowsydc.ScenarioSweep{Param: "retry-timeout", Values: []float64{0.5, 1, 2, 4}},
+		drowsydc.ScenarioOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	retry.RenderTable(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Relay everywhere vs relay nowhere at equal loss:")
+	fmt.Println()
+	for _, relay := range []bool{false, true} {
+		rep, err := runRelayVariant(p, relay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr := rep.Policies[0]
+		mode := "lossy broadcast on every subnet"
+		if relay {
+			mode = "WoL relay on every subnet     "
+		}
+		fmt.Printf("  %s  energy %8.3f kWh  retries %5d  lost %3d  lost-SLA %7.1f s\n",
+			mode, pr.EnergyKWh, pr.WakeRetries, pr.LostWakes, pr.LostWakeSLASeconds)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the tables: as wake-loss grows, retries and lost-wake SLA")
+	fmt.Println("seconds rise and drowsy's energy saving is honestly diluted — every")
+	fmt.Println("retransmission, late resume and recovery is charged to the ledger.")
+	fmt.Println("Shorter retry timeouts fit more attempts before the give-up horizon")
+	fmt.Println("(fewer losses, more retry energy). Relays convert broadcast wakes to")
+	fmt.Println("reliable unicast: zero delivery damage, paid for in standing draw.")
+}
+
+// runRelayVariant runs the drowsy column of lossy-wan with every
+// subnet's relay forced on or off.
+func runRelayVariant(p drowsydc.ScenarioParams, relay bool) (*drowsydc.ScenarioReport, error) {
+	var fam drowsydc.ScenarioFamily
+	for _, f := range drowsydc.ScenarioFamilies() {
+		if f.Name == "lossy-wan" {
+			fam = f
+		}
+	}
+	sc := fam.Build(p)
+	for i := range sc.Network.Subnets {
+		sc.Network.Subnets[i].Relay = relay
+	}
+	sc.Policies = []drowsydc.ScenarioPolicyConfig{
+		{Label: "drowsy", Policy: "drowsy-full", Suspend: true, Grace: true},
+	}
+	return drowsydc.RunScenarioSpec(sc, drowsydc.ScenarioOptions{})
+}

@@ -252,6 +252,11 @@ type Host struct {
 	// MaxVMs bounds the number of VMs (the paper's testbed allows
 	// exactly 2 per machine); 0 means unbounded.
 	MaxVMs int
+	// Subnet is the host's broadcast domain: WoL magic packets only
+	// propagate within a subnet, and the netsim delivery model keys
+	// loss/relay behavior on it. 0 (the default) is the flat everyone-
+	// on-one-switch topology every scenario had before subnets existed.
+	Subnet int
 
 	vms []*VM
 }

@@ -155,6 +155,13 @@ type Config struct {
 	// timer-driven VM's next active hour into an hr-timer (default one
 	// year).
 	TimerScanHorizonHours int
+	// Network, when non-nil, replaces the perfect Wake-on-LAN callback
+	// with netsim's lossy delivery model: magic packets are dropped with
+	// the configured probability (deterministically, seeded), retried on
+	// silence, and carried reliably by per-subnet relays. Hosts' broadcast
+	// domains come from cluster.Host.Subnet. nil keeps delivery perfect
+	// and the run bit-identical to the pre-network simulator.
+	Network *netsim.Config
 	// StartHour is the calendar hour at which the run begins.
 	StartHour simtime.Hour
 	// Hours is the length of the run.
@@ -227,6 +234,11 @@ type hostRT struct {
 	// packetWoken marks that the current hour's resume was triggered by
 	// an inbound request (so the first request pays the wake latency).
 	packetWoken bool
+	// lastWakeDelay is the extra silence the host's most recent lossy
+	// wake transaction cost (retransmission backoff or out-of-band
+	// recovery); the request recorders add it to the wake penalty. Zero
+	// under perfect delivery.
+	lastWakeDelay float64
 	// resumedAt is when the host last became fully active.
 	resumedAt simtime.Time
 }
@@ -254,12 +266,16 @@ type shard struct {
 
 	latency     *metrics.LatencyStats
 	wakeLatency *metrics.LatencyStats
+	// wake accumulates the shard's lossy-delivery outcomes; zero when
+	// the run has no network model. Merged in shard order by collect.
+	wake metrics.WakeStats
 
 	// Reused scratch (each shard advances on one goroutine at a time).
 	actBuf    []float64
 	tlBuf     [][]timeline.Burst
 	awakeBuf  []timeline.Burst
 	wakeBuf   []int
+	delayBuf  []float64
 	obsModels []*core.Model
 	obsActs   []float64
 
@@ -291,6 +307,11 @@ type Result struct {
 	ScheduledWakes uint64
 	PacketWakes    uint64
 
+	// Wake aggregates the lossy WoL delivery outcomes (zero when
+	// Config.Network is nil). Its PathJoules are already folded into
+	// EnergyKWh.
+	Wake metrics.WakeStats
+
 	// EventHours counts (host, hour) pairs simulated at event
 	// granularity — zero at hourly resolution, and bounded by the
 	// transition hours at event resolution (the overhead diagnostic).
@@ -304,6 +325,12 @@ type Runner struct {
 	policy  cluster.Policy
 	shards  []*shard
 	rts     map[int]*hostRT // host ID → runtime
+	// net is the lossy WoL delivery model (nil = perfect delivery);
+	// netCfg is its resolved configuration. The per-MAC attempt serials
+	// inside are written only by the owning host's shard, like the hot
+	// columns.
+	net    *netsim.LossModel
+	netCfg netsim.Config
 	// cols holds the per-VM/per-host hot state as struct-of-arrays
 	// columns: hourly activity and idle flags (written by the host
 	// phase, read by the observation phase), the keyed IP memo, and the
@@ -390,6 +417,27 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 		r.slotOf[v.ID] = i
 	}
 	r.cols = cluster.NewColumns(len(r.allVMs), len(c.Hosts()))
+	if cfg.Network != nil {
+		nc := cfg.Network.WithDefaults()
+		if err := nc.Validate(); err != nil {
+			panic(fmt.Sprintf("dcsim: network config: %v", err))
+		}
+		maxID := 0
+		for _, h := range c.Hosts() {
+			if h.ID > maxID {
+				maxID = h.ID
+			}
+		}
+		subnetOf := make([]int, maxID+1)
+		for _, h := range c.Hosts() {
+			if h.Subnet < 0 {
+				panic(fmt.Sprintf("dcsim: host %d in negative subnet %d", h.ID, h.Subnet))
+			}
+			subnetOf[h.ID] = h.Subnet
+		}
+		r.netCfg = nc
+		r.net = netsim.NewLossModel(nc, subnetOf, maxID+1)
+	}
 	start := cfg.StartHour.Start()
 	// The waking module's scheduled-wake lead must cover the slowest
 	// host of the fleet, so ahead-of-time WoLs land early enough
@@ -423,6 +471,10 @@ func NewRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy) *Runner {
 		}
 		sh.wm = waking.New(fmt.Sprintf("rack%d", s), sh.engine, lead, r.onWoL)
 		sh.mirror = waking.New(fmt.Sprintf("rack%d-mirror", s), sh.engine, lead, r.onWoL)
+		if r.net != nil {
+			sh.wm.SetDelivery(r.net, r.onLossyWoL)
+			sh.mirror.SetDelivery(r.net, r.onLossyWoL)
+		}
 		waking.Pair(sh.wm, sh.mirror)
 		r.shards = append(r.shards, sh)
 	}
@@ -476,6 +528,52 @@ func (r *Runner) onWoL(mac netsim.MAC) {
 	if rt.machine.State() != power.StateSuspended && rt.machine.State() != power.StateOff {
 		return // already awake or mid-transition; duplicate WoL
 	}
+	r.resumeHost(rt, 0)
+}
+
+// onLossyWoL handles a wake transaction resolved through the lossy
+// delivery model: the outcome's attempts, retries, relay legs and lost
+// wakes land in the shard's wake accounting, and the host resumes after
+// the transaction's silence — retransmission backoff when a retry got
+// through, the full give-up silence when every attempt was dropped (the
+// manager's out-of-band recovery; a lost wake delays the host, it never
+// strands it). The energy ledger is charged so packet loss can never
+// read as savings: each retransmission and recovery costs joules, and
+// the silence itself claws back the suspension credit at the peak-vs-
+// suspended differential.
+func (r *Runner) onLossyWoL(mac netsim.MAC, out netsim.WakeOutcome) {
+	rt, ok := r.rts[int(mac)]
+	if !ok {
+		return
+	}
+	if rt.machine.State() != power.StateSuspended && rt.machine.State() != power.StateOff {
+		return // duplicate WoL of an awake host: nothing waits on it
+	}
+	sh := rt.sh
+	sh.wake.Attempts += uint64(out.Attempts)
+	sh.wake.Retries += uint64(out.Attempts - 1)
+	sh.wake.PathJoules += float64(out.Attempts-1) * r.netCfg.RetryJoules
+	if out.Relayed {
+		sh.wake.RelayedWakes++
+		sh.wake.PathJoules += r.netCfg.RelayWakeJoules
+	}
+	if !out.Delivered {
+		sh.wake.LostWakes++
+		sh.wake.PathJoules += r.netCfg.RecoveryJoules
+	}
+	if out.DelaySeconds > 0 {
+		sh.wake.LostSLASeconds += out.DelaySeconds
+		sh.wake.PathJoules += out.DelaySeconds * (rt.profile.PeakWatts - rt.profile.SuspendedWatts)
+	}
+	rt.lastWakeDelay = out.DelaySeconds
+	r.resumeHost(rt, out.DelaySeconds)
+}
+
+// resumeHost executes a suspended/off host's resume, delay seconds
+// after the wake instant (0 under perfect delivery; a lossy wake's
+// retransmission or recovery silence otherwise). Callers have already
+// verified the machine is suspended or off.
+func (r *Runner) resumeHost(rt *hostRT, delay float64) {
 	sh := rt.sh
 	// The wake instant is the engine clock, clamped forward to the
 	// event-mode walk's within-hour cursor (the engine only advances at
@@ -489,6 +587,9 @@ func (r *Runner) onWoL(mac netsim.MAC) {
 	if la := rt.machine.LastAccounted(); la > now {
 		now = la
 	}
+	if delay > 0 {
+		now += delay
+	}
 	rt.machine.Transition(now, power.StateResuming)
 	rt.machine.Transition(now+rt.profile.ResumeLatency, power.StateActive)
 	rt.resumedAt = simtime.Time(math.Ceil(now + rt.profile.ResumeLatency))
@@ -496,7 +597,7 @@ func (r *Runner) onWoL(mac netsim.MAC) {
 	r.cols.SetHostAwake(rt.cidx, true)
 	hr := simtime.HourOf(simtime.Time(now))
 	rt.monitor.OnResume(rt.resumedAt, r.hostProbability(rt, hr))
-	sh.wm.HostResumed(mac)
+	sh.wm.HostResumed(netsim.MAC(rt.host.ID))
 }
 
 // hostProbability computes the host's normalized idleness probability
@@ -790,6 +891,7 @@ func (r *Runner) playHour(rt *hostRT, hr simtime.Hour, t0 simtime.Time) {
 	h := rt.host
 	sh := rt.sh
 	rt.packetWoken = false
+	rt.lastWakeDelay = 0
 
 	// Empty host: power it off (plain consolidation behaviour, enabled
 	// in every mode). The instant is clamped past any same-hour resume
@@ -1033,6 +1135,13 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 	for i := range wakes {
 		wakes[i] = 0
 	}
+	if cap(sh.delayBuf) < len(vms) {
+		sh.delayBuf = make([]float64, len(vms))
+	}
+	delays := sh.delayBuf[:len(vms)]
+	for i := range delays {
+		delays[i] = 0
+	}
 
 	// Head gap: a host still awake from the previous hour (or resumed
 	// by a management or ahead-of-time wake) may suspend before the
@@ -1063,6 +1172,7 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 			// direct manager WoL on a stale mapping or a timer-driven
 			// VM with a missed date.
 			fi := firstBurstIdx(vms, acts, hr, awake[k].Start)
+			rt.lastWakeDelay = 0
 			if fi >= 0 {
 				sh.wm.PacketArrived(netsim.Packet{Dst: netsim.VMID(vms[fi].ID)})
 			}
@@ -1071,6 +1181,7 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 			}
 			if fi >= 0 {
 				wakes[fi]++
+				delays[fi] += rt.lastWakeDelay
 			}
 		}
 		from := s
@@ -1102,7 +1213,7 @@ func (r *Runner) playHourEvents(rt *hostRT, hr simtime.Hour, t0 simtime.Time, vm
 			rt.os.AddQuanta(rt.procOf[v.ID], int64(a*float64(rt.os.QuantaPerHour())))
 		}
 	}
-	r.recordEventRequests(rt, vms, acts, wakes)
+	r.recordEventRequests(rt, vms, acts, wakes, delays)
 	return true
 }
 
@@ -1174,7 +1285,7 @@ func firstBurstIdx(vms []*cluster.VM, acts []float64, hr simtime.Hour, sec int) 
 // request, and dropping it would make the latency stats disagree with
 // the machine-level PacketWakes counter — so the hour's sample count
 // is max(n, wakes), never less than the hourly model's n.
-func (r *Runner) recordEventRequests(rt *hostRT, vms []*cluster.VM, acts []float64, wakes []int) {
+func (r *Runner) recordEventRequests(rt *hostRT, vms []*cluster.VM, acts []float64, wakes []int, delays []float64) {
 	sh := rt.sh
 	penalty := rt.profile.ResumeLatency
 	if r.cfg.NaiveResume {
@@ -1195,8 +1306,14 @@ func (r *Runner) recordEventRequests(rt *hostRT, vms []*cluster.VM, acts []float
 		}
 		lat := r.cfg.ServiceSeconds + penalty
 		for j := 0; j < w; j++ {
-			sh.wakeLatency.Record(lat)
-			sh.latency.Record(lat)
+			l := lat
+			if j == 0 {
+				// The VM's accumulated lossy-delivery silence lands on
+				// its first wake request (zero under perfect delivery).
+				l += delays[i]
+			}
+			sh.wakeLatency.Record(l)
+			sh.latency.Record(l)
 		}
 		if rest := n - w; rest > 0 {
 			sh.latency.RecordN(r.cfg.ServiceSeconds, rest)
@@ -1230,6 +1347,9 @@ func (r *Runner) recordRequests(rt *hostRT, vms []*cluster.VM, acts []float64, f
 		} else {
 			wakePenalty = rt.profile.ResumeLatency
 		}
+		// A lossy wake's retransmission/recovery silence lands on the
+		// same first request (zero under perfect delivery).
+		wakePenalty += rt.lastWakeDelay
 	}
 	for i, v := range vms {
 		a := acts[i]
@@ -1288,6 +1408,15 @@ func (r *Runner) collect() *Result {
 		res.PacketWakes += packet
 		res.EventHours += sh.eventHours
 	}
+	if r.net != nil {
+		for _, sh := range r.shards {
+			res.Wake.Merge(sh.wake)
+		}
+		// Relay standing draw runs for the whole horizon regardless of
+		// wake traffic — the price of owning the reliable unicast leg.
+		res.Wake.PathJoules += float64(r.cfg.Hours) * 3600 *
+			float64(len(r.netCfg.RelaySubnets)) * r.netCfg.RelayWatts
+	}
 	for _, v := range r.allVMs {
 		res.PerVMMigrations = append(res.PerVMMigrations, v.Migrations())
 	}
@@ -1303,6 +1432,11 @@ func (r *Runner) collect() *Result {
 	}
 	if n := len(c.Hosts()); n > 0 {
 		res.GlobalSuspFrac = suspSum / float64(n)
+	}
+	if r.net != nil {
+		// The wake path's joules join the hosts' integral so losing
+		// packets can never report as energy savings.
+		res.EnergyKWh += res.Wake.PathJoules / metrics.JoulesPerKWh
 	}
 	return res
 }

@@ -165,6 +165,49 @@ func (e EnergyMeter) Joules() float64 { return e.joules }
 func (e EnergyMeter) KWh() float64 { return e.joules / JoulesPerKWh }
 
 // ---------------------------------------------------------------------------
+// Wake-path accounting (lossy WoL delivery)
+
+// WakeStats aggregates the outcomes of Wake-on-LAN transactions under
+// the lossy delivery model: transmissions, retransmissions, wakes lost
+// to the broadcast fabric, wakes carried by subnet relays, the SLA
+// seconds burned waiting on retries and recoveries, and the wake-path
+// energy (retransmissions, out-of-band recoveries, relay legs, relay
+// standing draw).
+type WakeStats struct {
+	// Attempts counts every magic-packet transmission, first tries
+	// included.
+	Attempts uint64
+	// Retries counts retransmissions only (attempts beyond each
+	// transaction's first).
+	Retries uint64
+	// LostWakes counts transactions whose every attempt was dropped;
+	// the manager recovered those hosts out of band.
+	LostWakes uint64
+	// RelayedWakes counts transactions carried as reliable unicast by a
+	// subnet relay.
+	RelayedWakes uint64
+	// LostSLASeconds integrates the extra silence requests endured
+	// because a wake needed retries or out-of-band recovery.
+	LostSLASeconds float64
+	// PathJoules integrates the wake path's energy: retransmissions,
+	// recoveries, relay legs and relay standing draw, plus the
+	// suspension credit clawed back while hosts overslept through
+	// dropped wakes (so losing packets can never look cheaper than
+	// delivering them).
+	PathJoules float64
+}
+
+// Merge folds another shard's wake accounting into w.
+func (w *WakeStats) Merge(o WakeStats) {
+	w.Attempts += o.Attempts
+	w.Retries += o.Retries
+	w.LostWakes += o.LostWakes
+	w.RelayedWakes += o.RelayedWakes
+	w.LostSLASeconds += o.LostSLASeconds
+	w.PathJoules += o.PathJoules
+}
+
+// ---------------------------------------------------------------------------
 // Colocation matrix (Figure 2)
 
 // Colocation tracks, hour by hour, which VMs share a host, producing the

@@ -319,3 +319,21 @@ func TestConfusionString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+func TestWakeStatsMerge(t *testing.T) {
+	a := WakeStats{Attempts: 10, Retries: 3, LostWakes: 1, RelayedWakes: 2,
+		LostSLASeconds: 12.5, PathJoules: 100}
+	b := WakeStats{Attempts: 4, Retries: 1, RelayedWakes: 1,
+		LostSLASeconds: 2.5, PathJoules: 40}
+	a.Merge(b)
+	want := WakeStats{Attempts: 14, Retries: 4, LostWakes: 1, RelayedWakes: 3,
+		LostSLASeconds: 15, PathJoules: 140}
+	if a != want {
+		t.Fatalf("merged = %+v, want %+v", a, want)
+	}
+	var zero WakeStats
+	zero.Merge(WakeStats{})
+	if zero != (WakeStats{}) {
+		t.Fatalf("zero merge dirtied stats: %+v", zero)
+	}
+}

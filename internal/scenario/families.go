@@ -333,4 +333,53 @@ func init() {
 			}
 		},
 	})
+
+	Register(Family{
+		Name:        "lossy-wan",
+		Description: "two broadcast domains over an unreliable WoL fabric: relayed core, lossy edge",
+		Probes: "beyond-paper network realism: do the suspend savings survive dropped magic packets? " +
+			"(seeded per-attempt loss, retry-on-silence, a relay proxy on the core subnet; sweep " +
+			"wake-loss or retry-timeout to trace the degradation curve)",
+		Build: func(p Params) Scenario {
+			hosts := defaults(p.Hosts, 16)
+			core := perHosts(hosts, 1, 4)
+			edge := hosts - core
+			if edge < 1 {
+				edge = 1
+			}
+			return Scenario{
+				Name:         "lossy-wan",
+				Description:  "two broadcast domains over an unreliable WoL fabric: relayed core, lossy edge",
+				HorizonHours: defaults(p.HorizonHours, 14*simtime.HoursPerDay),
+				// Sub-hourly resolution: packet wakes are where drops bite,
+				// and the SLA ledger must see every delayed resume.
+				Resolution: dcsim.ResolutionEvent,
+				Hosts: []HostClass{
+					{Name: "edge", Count: edge, MemGB: 64, VCPUs: 16, Slots: 8},
+					{Name: "core", Count: core, MemGB: 64, VCPUs: 16, Slots: 8},
+				},
+				Network: &Network{
+					WakeLoss:            0.1,
+					RetryTimeoutSeconds: 1,
+					Seed:                0x10553,
+					Subnets: []Subnet{
+						{Name: "edge", Classes: []string{"edge"}},
+						{Name: "core", Classes: []string{"core"}, Relay: true},
+					},
+				},
+				Groups: []WorkloadGroup{
+					{Name: "web", Count: perHosts(hosts, 3, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: interactiveWebGen(0x10a7), ShiftStepHours: 1,
+						Seed: 0x10a7},
+					{Name: "backup", Count: perHosts(hosts, 1, 2), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: trace.DailyBackup(0.6), ShiftStepHours: 2,
+						Seed: 0x10b8, TimerDriven: true},
+					{Name: "cdn", Count: perHosts(hosts, 1, 1), Kind: cluster.KindLLMI,
+						MemGB: 4, VCPUs: 2, Gen: interactiveWebGen(0x10cd), Replicated: true},
+				},
+				RebalanceEvery:  6,
+				RequestsPerHour: 50,
+			}
+		},
+	})
 }

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"drowsydc/internal/netsim"
+)
+
+// The network-realism axis: a Scenario may declare its broadcast-domain
+// topology (host classes grouped into subnets) and an unreliable
+// Wake-on-LAN fabric. Declared, the perfect WoL callback is replaced by
+// netsim's seeded lossy delivery model — drops, retry-on-silence,
+// per-subnet relays — and the report grows wake-transaction columns.
+// Undeclared (the default), delivery stays perfect and every report is
+// byte-identical to the pre-network simulator.
+
+// Subnet is one broadcast domain of a scenario's topology: the named
+// host classes whose magic packets share a broadcast segment.
+type Subnet struct {
+	// Name labels the domain ("edge-pop").
+	Name string
+	// Classes lists the host-class names in this domain. Every class
+	// may appear in at most one subnet; classes in no subnet share an
+	// implicit default domain.
+	Classes []string
+	// Relay equips the domain with a WoL proxy: wakes cross it as
+	// reliable unicast (never dropped, no retry silence) at the relay's
+	// energy cost.
+	Relay bool
+}
+
+// Network declares a scenario's unreliable-WoL fabric. The zero value
+// of every field but WakeLoss selects the netsim default, so
+// &Network{WakeLoss: 0.1} is a complete lossy fabric over one flat
+// broadcast domain.
+type Network struct {
+	// WakeLoss is the per-attempt magic-packet drop probability in
+	// [0, 1].
+	WakeLoss float64
+	// RetryTimeoutSeconds is the silence before the first
+	// retransmission (0 = 1 s); RetryBackoff multiplies consecutive
+	// silences (0 = 2).
+	RetryTimeoutSeconds float64
+	RetryBackoff        float64
+	// MaxAttempts bounds transmissions per wake (0 = 6).
+	MaxAttempts int
+	// GiveUpSilenceSeconds is the silence after which a wake is
+	// declared lost and the host recovered out of band (0 = 10 s).
+	GiveUpSilenceSeconds float64
+	// Seed keys the deterministic drop schedule.
+	Seed uint64
+	// Subnets is the broadcast-domain topology (nil = one flat domain).
+	Subnets []Subnet
+}
+
+// validate checks the fabric declaration against the scenario's host
+// classes; every error names the offending field.
+func (n *Network) validate(scName string, classes map[string]bool) error {
+	if n == nil {
+		return nil
+	}
+	if math.IsNaN(n.WakeLoss) || n.WakeLoss < 0 || n.WakeLoss > 1 {
+		return fmt.Errorf("scenario %s: network wake-loss %v outside [0, 1]", scName, n.WakeLoss)
+	}
+	if math.IsNaN(n.RetryTimeoutSeconds) || math.IsInf(n.RetryTimeoutSeconds, 0) || n.RetryTimeoutSeconds < 0 {
+		return fmt.Errorf("scenario %s: network retry-timeout %v must be a non-negative number of seconds (0 selects the default 1 s)",
+			scName, n.RetryTimeoutSeconds)
+	}
+	if math.IsNaN(n.RetryBackoff) || math.IsInf(n.RetryBackoff, 0) ||
+		(n.RetryBackoff != 0 && n.RetryBackoff < 1) {
+		return fmt.Errorf("scenario %s: network retry-backoff %v must be >= 1 (0 selects the default 2)",
+			scName, n.RetryBackoff)
+	}
+	if n.MaxAttempts < 0 {
+		return fmt.Errorf("scenario %s: network max-attempts %d must be >= 1 (0 selects the default 6)",
+			scName, n.MaxAttempts)
+	}
+	if math.IsNaN(n.GiveUpSilenceSeconds) || math.IsInf(n.GiveUpSilenceSeconds, 0) || n.GiveUpSilenceSeconds < 0 {
+		return fmt.Errorf("scenario %s: network give-up-silence %v must be a non-negative number of seconds (0 selects the default 10 s)",
+			scName, n.GiveUpSilenceSeconds)
+	}
+	seenSubnet := map[string]bool{}
+	owner := map[string]string{}
+	for i, s := range n.Subnets {
+		if s.Name == "" {
+			return fmt.Errorf("scenario %s: network subnet %d has no name", scName, i)
+		}
+		if seenSubnet[s.Name] {
+			return fmt.Errorf("scenario %s: duplicate network subnet %q", scName, s.Name)
+		}
+		seenSubnet[s.Name] = true
+		if len(s.Classes) == 0 {
+			return fmt.Errorf("scenario %s: network subnet %q lists no host classes", scName, s.Name)
+		}
+		for _, cl := range s.Classes {
+			if !classes[cl] {
+				return fmt.Errorf("scenario %s: network subnet %q references unknown host class %q",
+					scName, s.Name, cl)
+			}
+			if prev, dup := owner[cl]; dup {
+				return fmt.Errorf("scenario %s: host class %q in two network subnets (%q and %q)",
+					scName, cl, prev, s.Name)
+			}
+			owner[cl] = s.Name
+		}
+	}
+	return nil
+}
+
+// classDomains maps each host-class name declared in a subnet to its
+// broadcast-domain index (the subnet's position). Classes absent from
+// the map belong to the implicit default domain defaultDomain().
+func (n *Network) classDomains() map[string]int {
+	if n == nil {
+		return nil
+	}
+	m := make(map[string]int)
+	for i, s := range n.Subnets {
+		for _, cl := range s.Classes {
+			m[cl] = i
+		}
+	}
+	return m
+}
+
+// defaultDomain is the broadcast domain of classes no subnet claims.
+func (n *Network) defaultDomain() int { return len(n.Subnets) }
+
+// relaySubnets lists the relay-equipped domain indices.
+func (n *Network) relaySubnets() []int {
+	var out []int
+	for i, s := range n.Subnets {
+		if s.Relay {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dcsimConfig maps the declaration onto netsim's delivery config (nil
+// declaration → nil config → perfect delivery). Energy knobs stay at
+// the netsim defaults; scenarios tune loss, retry and topology.
+func (n *Network) dcsimConfig() *netsim.Config {
+	if n == nil {
+		return nil
+	}
+	return &netsim.Config{
+		WakeLoss:             n.WakeLoss,
+		RetryTimeoutSeconds:  n.RetryTimeoutSeconds,
+		RetryBackoff:         n.RetryBackoff,
+		MaxAttempts:          n.MaxAttempts,
+		GiveUpSilenceSeconds: n.GiveUpSilenceSeconds,
+		Seed:                 n.Seed,
+		RelaySubnets:         n.relaySubnets(),
+	}
+}
+
+// cloneNetwork returns a private copy of the scenario's fabric (a fresh
+// zero-loss one when none is declared) and installs it, so sweep points
+// — which copy Scenario by value but would otherwise share the Network
+// pointer — can write their swept knob without corrupting siblings. The
+// Subnets slice stays shared: sweep applications only write scalars.
+func (sc *Scenario) cloneNetwork() *Network {
+	n := Network{}
+	if sc.Network != nil {
+		n = *sc.Network
+	}
+	sc.Network = &n
+	return &n
+}
+
+func init() {
+	RegisterParam(SweepParam{
+		Name: "wake-loss", Unit: "frac",
+		Description: "per-attempt WoL magic-packet drop probability over the broadcast fabric",
+		Check: func(v float64) error {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("wake-loss must be in [0, 1], got %v", v)
+			}
+			return nil
+		},
+		Apply: func(v float64, sc *Scenario) { sc.cloneNetwork().WakeLoss = v },
+	})
+	RegisterParam(SweepParam{
+		Name: "retry-timeout", Unit: "s",
+		Description: "WoL retransmission timeout; shorter is more aggressive (more attempts fit before give-up)",
+		Check: func(v float64) error {
+			if math.IsNaN(v) || v <= 0 || v > 60 {
+				return fmt.Errorf("retry-timeout must be in (0, 60] seconds, got %v", v)
+			}
+			return nil
+		},
+		Apply: func(v float64, sc *Scenario) { sc.cloneNetwork().RetryTimeoutSeconds = v },
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"drowsydc/internal/dcsim"
 	"drowsydc/internal/exp"
+	"drowsydc/internal/metrics"
 	"drowsydc/internal/power"
 )
 
@@ -41,16 +42,29 @@ type PolicyResult struct {
 	WorstWakeSeconds  float64 `json:"worst_wake_seconds"`
 	ScheduledWakes    uint64  `json:"scheduled_wakes"`
 	PacketWakes       uint64  `json:"packet_wakes"`
+
+	// Lossy-WoL columns, present only when the scenario declares a
+	// Network (omitempty keeps perfect-delivery reports byte-identical
+	// to their pre-network form).
+	WakeAttempts       uint64  `json:"wake_attempts,omitempty"`
+	WakeRetries        uint64  `json:"wake_retries,omitempty"`
+	LostWakes          uint64  `json:"lost_wakes,omitempty"`
+	RelayedWakes       uint64  `json:"relayed_wakes,omitempty"`
+	LostWakeSLASeconds float64 `json:"lost_wake_sla_seconds,omitempty"`
+	WakePathKWh        float64 `json:"wake_path_kwh,omitempty"`
 }
 
 // Report is a scenario run's JSON-serializable outcome.
 type Report struct {
-	Scenario     string         `json:"scenario"`
-	Description  string         `json:"description"`
-	Hosts        int            `json:"hosts"`
-	VMs          int            `json:"vms"`
-	HorizonHours int            `json:"horizon_hours"`
-	Policies     []PolicyResult `json:"policies"`
+	Scenario     string `json:"scenario"`
+	Description  string `json:"description"`
+	Hosts        int    `json:"hosts"`
+	VMs          int    `json:"vms"`
+	HorizonHours int    `json:"horizon_hours"`
+	// WakeModel is "lossy" when the scenario declared a Network fabric
+	// (gating the wake columns in tables); empty under perfect delivery.
+	WakeModel string         `json:"wake_model,omitempty"`
+	Policies  []PolicyResult `json:"policies"`
 }
 
 // WriteJSON writes the indented JSON encoding the CLI emits (shared so
@@ -70,12 +84,21 @@ func (r *Report) RenderTable(w io.Writer) {
 			polW = n
 		}
 	}
-	fmt.Fprintf(w, "%*s  %11s %6s %8s %6s %7s %7s %7s\n",
+	fmt.Fprintf(w, "%*s  %11s %6s %8s %6s %7s %7s %7s",
 		polW, "policy", "energy-kWh", "susp%", "suspends", "migr", "SLA%", "p99-s", "wake-s")
+	if r.WakeModel != "" {
+		fmt.Fprintf(w, " %9s %7s %6s %10s", "wake-att", "retries", "lost", "lost-sla-s")
+	}
+	fmt.Fprintln(w)
 	for _, pr := range r.Policies {
-		fmt.Fprintf(w, "%*s  %11.3f %6.2f %8d %6d %7.2f %7.3f %7.3f\n",
+		fmt.Fprintf(w, "%*s  %11.3f %6.2f %8d %6d %7.2f %7.3f %7.3f",
 			polW, pr.Policy, pr.EnergyKWh, 100*pr.SuspendedFraction, pr.Suspends,
 			pr.Migrations, 100*pr.SLAFraction, pr.P99LatencySeconds, pr.WorstWakeSeconds)
+		if r.WakeModel != "" {
+			fmt.Fprintf(w, " %9d %7d %6d %10.1f",
+				pr.WakeAttempts, pr.WakeRetries, pr.LostWakes, pr.LostWakeSLASeconds)
+		}
+		fmt.Fprintln(w)
 	}
 }
 
@@ -142,6 +165,7 @@ func runCell(sc Scenario, pc PolicyConfig, stores runStores) *dcsim.Result {
 		RequestsPerHour: sc.RequestsPerHour,
 		ShardWorkers:    shardWorkers,
 		ShardHostSpan:   sc.Tuning.shardHostSpan,
+		Network:         sc.Network.dcsimConfig(),
 		Arrivals:        arrivals,
 		Departures:      departures,
 		// Scenario reports never read the colocation matrix; its
@@ -159,12 +183,15 @@ func assemble(sc Scenario, cols []PolicyConfig, results []*dcsim.Result) Report 
 		VMs:          sc.SimulatedVMs(),
 		HorizonHours: sc.HorizonHours,
 	}
+	if sc.Network != nil {
+		rep.WakeModel = "lossy"
+	}
 	for i, res := range results {
 		suspends := 0
 		for _, n := range res.SuspendCounts {
 			suspends += n
 		}
-		rep.Policies = append(rep.Policies, PolicyResult{
+		pr := PolicyResult{
 			Policy:            cols[i].Label,
 			EnergyKWh:         res.EnergyKWh,
 			SuspendedFraction: res.GlobalSuspFrac,
@@ -177,7 +204,16 @@ func assemble(sc Scenario, cols []PolicyConfig, results []*dcsim.Result) Report 
 			WorstWakeSeconds:  res.WakeLatency.Max(),
 			ScheduledWakes:    res.ScheduledWakes,
 			PacketWakes:       res.PacketWakes,
-		})
+		}
+		if sc.Network != nil {
+			pr.WakeAttempts = res.Wake.Attempts
+			pr.WakeRetries = res.Wake.Retries
+			pr.LostWakes = res.Wake.LostWakes
+			pr.RelayedWakes = res.Wake.RelayedWakes
+			pr.LostWakeSLASeconds = res.Wake.LostSLASeconds
+			pr.WakePathKWh = res.Wake.PathJoules / metrics.JoulesPerKWh
+		}
+		rep.Policies = append(rep.Policies, pr)
 	}
 	return rep
 }

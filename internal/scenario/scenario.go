@@ -127,6 +127,11 @@ type Scenario struct {
 	// act at their true second scale. The hourly default reproduces
 	// pre-timeline results bit for bit.
 	Resolution dcsim.Resolution
+	// Network declares the broadcast-domain topology and the unreliable
+	// Wake-on-LAN fabric (nil = perfect delivery, byte-identical to the
+	// pre-network simulator). The wake-loss and retry-timeout sweep
+	// parameters write into a per-point copy of it.
+	Network *Network
 	// Tuning overrides runtime knobs (grace bound, transition latencies,
 	// variant jitter); the zero value changes nothing. Sweep parameters
 	// write these fields point by point.
@@ -183,10 +188,12 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: no VMs", sc.Name)
 	}
 	memCap, slotCap, unbounded := 0, 0, false
+	classNames := make(map[string]bool, len(sc.Hosts))
 	for _, hc := range sc.Hosts {
 		if hc.Count <= 0 || hc.MemGB <= 0 || hc.VCPUs <= 0 || hc.Slots < 0 {
 			return fmt.Errorf("scenario %s: host class %q has invalid shape", sc.Name, hc.Name)
 		}
+		classNames[hc.Name] = true
 		if hc.Profile != (power.Profile{}) {
 			if err := hc.Profile.Validate(); err != nil {
 				return fmt.Errorf("scenario %s: host class %q: %v", sc.Name, hc.Name, err)
@@ -231,6 +238,9 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Resolution != dcsim.ResolutionHourly && sc.Resolution != dcsim.ResolutionEvent {
 		return fmt.Errorf("scenario %s: unknown resolution %d", sc.Name, int(sc.Resolution))
+	}
+	if err := sc.Network.validate(sc.Name, classNames); err != nil {
+		return err
 	}
 	// Sweep-grid range checks run before any tuning consistency check:
 	// a malformed grid value (non-finite, negative, out of range) must
@@ -398,10 +408,19 @@ func (sc Scenario) materialize(st runStores) (
 	c := cluster.New()
 	hostID := 0
 	profiles := make(map[int]power.Profile)
+	domains := sc.Network.classDomains()
 	for _, hc := range sc.Hosts {
 		for i := 0; i < hc.Count; i++ {
-			c.AddHost(cluster.NewHost(hostID, fmt.Sprintf("%s-%03d", hc.Name, i),
-				hc.MemGB, hc.VCPUs, hc.Slots))
+			h := cluster.NewHost(hostID, fmt.Sprintf("%s-%03d", hc.Name, i),
+				hc.MemGB, hc.VCPUs, hc.Slots)
+			if domains != nil {
+				if d, ok := domains[hc.Name]; ok {
+					h.Subnet = d
+				} else {
+					h.Subnet = sc.Network.defaultDomain()
+				}
+			}
+			c.AddHost(h)
 			if hc.Profile != (power.Profile{}) {
 				profiles[hostID] = hc.Profile
 			}

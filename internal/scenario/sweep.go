@@ -355,9 +355,13 @@ func (r *SweepReport) RenderTable(w io.Writer) {
 	if n := len(r.Param); n > axisW {
 		axisW = n
 	}
+	lossy := r.Points[0].Report.WakeModel != ""
 	fmt.Fprintf(w, "%*s", axisW, r.Param)
 	for _, pr := range r.Points[0].Report.Policies {
 		fmt.Fprintf(w, "  %11s %6s %6s %7s", pr.Policy+"-kWh", "susp", "SLA%", "p99-s")
+		if lossy {
+			fmt.Fprintf(w, " %7s %6s %10s", "retries", "lost", "lost-sla-s")
+		}
 	}
 	fmt.Fprintln(w)
 	for _, pt := range r.Points {
@@ -365,6 +369,10 @@ func (r *SweepReport) RenderTable(w io.Writer) {
 		for _, pr := range pt.Report.Policies {
 			fmt.Fprintf(w, "  %11.3f %6d %6.2f %7.3f",
 				pr.EnergyKWh, pr.Suspends, 100*pr.SLAFraction, pr.P99LatencySeconds)
+			if lossy {
+				fmt.Fprintf(w, " %7d %6d %10.1f",
+					pr.WakeRetries, pr.LostWakes, pr.LostWakeSLASeconds)
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -128,7 +128,7 @@ func TestRunRejectsSweepAxis(t *testing.T) {
 // consistency on an in-range value.
 func TestSweepParamRegistry(t *testing.T) {
 	want := []string{"grace", "jitter", "naive-resume-latency", "rebalance",
-		"resolution", "resume-latency", "suspend-latency"}
+		"resolution", "resume-latency", "retry-timeout", "suspend-latency", "wake-loss"}
 	params := SweepParams()
 	var names []string
 	for _, p := range params {
@@ -160,7 +160,9 @@ func TestSweepEveryParamRuns(t *testing.T) {
 		"rebalance":            12,
 		"resolution":           1,
 		"resume-latency":       1.5,
+		"retry-timeout":        2,
 		"suspend-latency":      4,
+		"wake-loss":            0.05,
 	}
 	for _, p := range SweepParams() {
 		v, ok := inRange[p.Name]

@@ -40,6 +40,12 @@ type Module struct {
 	lastBeat simtime.Time
 	failed   bool
 
+	// When a loss model is installed, every WoL the module fires is
+	// resolved through it — retries, drops, relay legs — and the outcome
+	// handed to deliver instead of the perfect wol callback.
+	loss    *netsim.LossModel
+	deliver func(netsim.MAC, netsim.WakeOutcome)
+
 	peer       *Module
 	mirrorCopy *state // continuously mirrored copy of the peer's state
 
@@ -170,8 +176,26 @@ func (m *Module) PacketArrived(p netsim.Packet) bool {
 	return woke
 }
 
-// fireWoL delivers the WoL and counts it.
-func (m *Module) fireWoL(mac netsim.MAC) { m.wol(mac) }
+// SetDelivery routes the module's WoL path through a lossy delivery
+// model: each fired wake is resolved into a WakeOutcome (attempts,
+// drops, relay, delay) and handed to deliver. Both arguments nil
+// restores the perfect callback; anything else requires both.
+func (m *Module) SetDelivery(loss *netsim.LossModel, deliver func(netsim.MAC, netsim.WakeOutcome)) {
+	if (loss == nil) != (deliver == nil) {
+		panic("waking: SetDelivery requires both a loss model and a delivery callback, or neither")
+	}
+	m.loss, m.deliver = loss, deliver
+}
+
+// fireWoL delivers the WoL: straight to the perfect callback by
+// default, or through the lossy delivery model when one is installed.
+func (m *Module) fireWoL(mac netsim.MAC) {
+	if m.loss == nil {
+		m.wol(mac)
+		return
+	}
+	m.deliver(mac, m.loss.Resolve(mac))
+}
 
 // Heartbeat records liveness at the current engine time.
 func (m *Module) Heartbeat() { m.lastBeat = m.engine.Now() }

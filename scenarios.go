@@ -46,6 +46,30 @@ type ScenarioReport = scenario.Report
 // ScenarioPolicyResult is one policy column of a ScenarioReport.
 type ScenarioPolicyResult = scenario.PolicyResult
 
+// ScenarioSpec is the declarative scenario form a ScenarioFamily
+// builds: host classes, workload groups, horizon, policy columns and
+// (optionally) a network fabric. Named ScenarioSpec because the root
+// package's Scenario is the small builder API; run one with
+// RunScenarioSpec after customizing what RunScenarioFamily cannot
+// reach (topology, per-class profiles, policy columns).
+type ScenarioSpec = scenario.Scenario
+
+// ScenarioPolicyConfig is one policy-comparison column of a
+// ScenarioSpec.
+type ScenarioPolicyConfig = scenario.PolicyConfig
+
+// ScenarioNetwork declares a scenario's unreliable Wake-on-LAN fabric:
+// per-attempt magic-packet loss, retry-on-silence timing and the
+// broadcast-domain topology. Scenarios without one (the default)
+// simulate perfect delivery and report byte-identically to the
+// pre-network simulator.
+type ScenarioNetwork = scenario.Network
+
+// ScenarioSubnet is one broadcast domain of a ScenarioNetwork: the host
+// classes sharing a broadcast segment, optionally fronted by a WoL
+// relay proxy.
+type ScenarioSubnet = scenario.Subnet
+
 // ScenarioSweep is a parameter-sweep axis: a registered parameter name
 // plus the strictly increasing grid of values to evaluate it at.
 type ScenarioSweep = scenario.Sweep
@@ -69,6 +93,15 @@ func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
 // executes it.
 func RunScenarioFamily(name string, p ScenarioParams, opt ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.RunFamily(name, p, opt)
+}
+
+// RunScenarioSpec validates and executes a customized ScenarioSpec —
+// the escape hatch for experiments the family registry doesn't
+// parameterize (edited subnets, bespoke policy columns, hand-built
+// fleets). Results carry the same determinism guarantees as
+// RunScenarioFamily.
+func RunScenarioSpec(sc ScenarioSpec, opt ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(sc, opt)
 }
 
 // ScenarioSweepParams returns the registered sweepable parameters
