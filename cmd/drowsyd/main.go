@@ -1,0 +1,85 @@
+// Command drowsyd serves scenario runs, sweeps and catalogs as a
+// long-running HTTP+JSON daemon over the same deterministic simulation
+// substrate drowsyctl drives in batch. Run/sweep response bodies are
+// byte-identical to `drowsyctl scenario run|sweep` output.
+//
+// Usage:
+//
+//	drowsyd [-addr 127.0.0.1:7077] [-workers N] [-drain-timeout 30s]
+//	        [-max-hosts N] [-max-horizon-days N] [-max-grid-values N]
+//
+// Endpoints:
+//
+//	POST /v1/run      {"family":"always-on-mix","hosts":6,"horizon_days":7}
+//	POST /v1/sweep    {"family":"diurnal-office","param":"grace","values":[0,30,120]}
+//	                  (?stream=1 or "stream":true for chunked progress events)
+//	GET  /v1/families scenario-family catalog
+//	GET  /v1/params   sweepable-parameter catalog
+//	GET  /v1/stats    cache/pool counters
+//	GET  /healthz     liveness probe
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight simulation jobs (up to -drain-timeout) and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drowsydc/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("drowsyd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "listen address")
+	workers := fs.Int("workers", 0, "max concurrently running simulation jobs (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	maxHosts := fs.Int("max-hosts", 0, "per-request hosts cap (0 = default 4096)")
+	maxHorizonDays := fs.Int("max-horizon-days", 0, "per-request horizon cap in days (0 = default 400)")
+	maxGridValues := fs.Int("max-grid-values", 0, "per-request sweep-grid cap (0 = default 32)")
+	_ = fs.Parse(os.Args[1:])
+
+	logger := log.New(os.Stderr, "drowsyd: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		Workers: *workers,
+		Limits: server.Limits{
+			MaxHosts:       *maxHosts,
+			MaxHorizonDays: *maxHorizonDays,
+			MaxGridValues:  *maxGridValues,
+		},
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving on http://%s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		logger.Printf("caught %s; draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Printf("drain: %v (abandoning in-flight jobs)", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained; bye")
+}

@@ -1,0 +1,133 @@
+// Serve-client: the drowsyd service layer end to end. The program
+// starts the daemon's handler in-process on a loopback port (so it
+// needs no separately running drowsyd; point -addr at one to drive it
+// instead) and then acts as a client: it fetches the family catalog,
+// posts a run, posts the identical run again to show the single-flight
+// cache serving the same bytes without re-simulating, streams a sweep's
+// progress events, and reads the serving counters back. Every body it
+// prints is byte-identical to the corresponding `drowsyctl scenario`
+// output — the golden fixtures pin that.
+//
+//	go run ./examples/serve-client [-addr host:port]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"drowsydc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "drowsyd address to drive (empty = start the service in-process)")
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := server.New(server.Config{})
+		go http.Serve(ln, srv.Handler()) //nolint:errcheck // dies with the example
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("drowsyd serving in-process on %s\n\n", base)
+	}
+
+	fmt.Println("GET /v1/families — the scenario catalog:")
+	catalog := get(base + "/v1/families")
+	fmt.Println(firstLines(catalog, 9), "...")
+
+	spec := `{"family":"always-on-mix","hosts":6,"horizon_days":7}`
+	fmt.Printf("\nPOST /v1/run %s:\n", spec)
+	cache, body := post(base+"/v1/run", spec)
+	fmt.Println(firstLines(body, 8), "...")
+	fmt.Printf("(X-Drowsyd-Cache: %s)\n", cache)
+
+	fmt.Println("\nThe identical request again:")
+	cache2, body2 := post(base+"/v1/run", spec)
+	fmt.Printf("(X-Drowsyd-Cache: %s; bytes identical to the first response: %v)\n",
+		cache2, bytes.Equal(body, body2))
+
+	fmt.Println("\nPOST /v1/sweep?stream=1 — progress events, then the report:")
+	streamSweep(base + "/v1/sweep?stream=1")
+
+	fmt.Println("\nGET /v1/stats — the serving counters:")
+	fmt.Println(string(get(base + "/v1/stats")))
+}
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func post(url, body string) (cache string, b []byte) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err = io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s", resp.Status, b)
+	}
+	return resp.Header.Get("X-Drowsyd-Cache"), b
+}
+
+// streamSweep posts a streaming sweep and narrates the ndjson protocol:
+// progress lines as they arrive, then the size of the final report.
+func streamSweep(url string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(
+		`{"family":"diurnal-office","param":"grace","values":[0,30,120],"hosts":6,"horizon_days":7}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	var report bytes.Buffer
+	events := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			break
+		}
+		if err != nil && err != io.EOF {
+			log.Fatal(err)
+		}
+		if report.Len() == 0 && strings.HasPrefix(line, `{"event":"progress"`) {
+			events++
+			fmt.Print("  ", line)
+			continue
+		}
+		report.WriteString(line)
+	}
+	fmt.Printf("  ... %d progress events, then the %d-byte report (identical to the batch form)\n",
+		events, report.Len())
+}
+
+// firstLines truncates a body for display.
+func firstLines(b []byte, n int) string {
+	lines := strings.SplitN(string(b), "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Canonical spec hashing: the cache-key contract of the drowsyd result
+// cache. A served result may be reused only when every knob that can
+// reach the simulation is provably equal, so the hash must cover every
+// field of the spec structs — including ones added by future PRs. The
+// implementation therefore walks the structs by reflection instead of
+// enumerating fields by hand: a new Tuning or Params knob is hashed the
+// moment it is declared, and TestCanonicalHashCoversEveryField fails if
+// a field of an unhashable kind sneaks in. Two specs hash equal exactly
+// when they are value-equal (field order in source or in a decoded JSON
+// request is irrelevant); any single-field change produces a different
+// hash, which is what keeps a stale cache entry from ever being served
+// for a subtly different request.
+
+// CanonicalHash returns a stable hex digest of every field of p.
+func (p Params) CanonicalHash() string { return canonicalHash(reflect.ValueOf(p)) }
+
+// CanonicalHash returns a stable hex digest of every field of t,
+// including unexported test-only knobs — conservatively: two Tunings
+// that differ only in an execution-side field (ShardWorkers) hash
+// differently even though their reports are bit-identical.
+func (t Tuning) CanonicalHash() string { return canonicalHash(reflect.ValueOf(t)) }
+
+// CanonicalHash returns a stable hex digest of the sweep axis.
+func (s Sweep) CanonicalHash() string { return canonicalHash(reflect.ValueOf(s)) }
+
+// CanonicalHash returns a stable hex digest of the network fabric; a
+// nil declaration (perfect delivery) hashes to the distinguished "nil",
+// never equal to any declared fabric — including the zero-loss one,
+// which differs observably (wake_model and the wake columns appear).
+func (n *Network) CanonicalHash() string {
+	if n == nil {
+		return "nil"
+	}
+	return canonicalHash(reflect.ValueOf(*n))
+}
+
+// canonicalHash digests a value's canonical encoding. 128 bits of
+// SHA-256 keep accidental collisions out of reach of any realistic
+// cache population.
+func canonicalHash(v reflect.Value) string {
+	h := sha256.New()
+	writeCanonical(h, v)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// writeCanonical streams a self-delimiting encoding of v: every scalar
+// is tagged with its kind, aggregates carry their length, and struct
+// fields are emitted in sorted name order with the name included — so
+// reordering fields in a struct declaration cannot change the hash, but
+// renaming or retyping one can only change it.
+func writeCanonical(w io.Writer, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		idx := make([]int, t.NumField())
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return t.Field(idx[a]).Name < t.Field(idx[b]).Name })
+		for _, i := range idx {
+			fmt.Fprintf(w, "%s{", t.Field(i).Name)
+			writeCanonical(w, v.Field(i))
+			io.WriteString(w, "}")
+		}
+	case reflect.Bool:
+		fmt.Fprintf(w, "b%t;", v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(w, "i%d;", v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(w, "u%d;", v.Uint())
+	case reflect.Float32, reflect.Float64:
+		// Bit-exact: distinguishes -0 from 0 and every NaN payload, so
+		// the hash can never conflate floats the simulation could tell
+		// apart.
+		fmt.Fprintf(w, "f%016x;", math.Float64bits(v.Float()))
+	case reflect.String:
+		fmt.Fprintf(w, "s%d:%s;", v.Len(), v.String())
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "l%d[", v.Len())
+		for i := 0; i < v.Len(); i++ {
+			writeCanonical(w, v.Index(i))
+		}
+		io.WriteString(w, "];")
+	case reflect.Pointer:
+		if v.IsNil() {
+			io.WriteString(w, "p;")
+			return
+		}
+		io.WriteString(w, "p*")
+		writeCanonical(w, v.Elem())
+	default:
+		// A func, map or chan field has no canonical encoding; caching a
+		// spec that carries one would silently exclude it from the key.
+		// Fail loudly at hash time (and in the coverage test) instead.
+		panic(fmt.Sprintf("scenario: canonical hash of unsupported kind %s", v.Kind()))
+	}
+}

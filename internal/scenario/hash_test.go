@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// The canonical-hash contract: value-equal specs hash equal however
+// they were constructed or decoded, and flipping any single field —
+// exported or not, present today or added by a future PR — changes the
+// hash. The second half is the guard the drowsyd result cache leans
+// on: a knob that did not change the hash would be a knob whose
+// different settings silently share a cache entry.
+
+// TestCanonicalHashEqualSpecsAgree pins that hashing is a pure function
+// of value: structs built in different field order, zero values built
+// differently, and JSON decoded with reordered keys all agree.
+func TestCanonicalHashEqualSpecsAgree(t *testing.T) {
+	a := Tuning{MaxGraceSeconds: 30, ResumeLatencySeconds: 2, JitterSet: true, JitterAmount: 0.1}
+	b := Tuning{JitterAmount: 0.1, JitterSet: true, ResumeLatencySeconds: 2, MaxGraceSeconds: 30}
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatalf("value-equal tunings hash differently: %s vs %s", a.CanonicalHash(), b.CanonicalHash())
+	}
+	if (Params{}).CanonicalHash() != (Params{Hosts: 0}).CanonicalHash() {
+		t.Fatal("zero params built differently hash differently")
+	}
+
+	var p1, p2 Params
+	if err := json.Unmarshal([]byte(`{"Hosts":6,"HorizonHours":168,"Resolution":"event"}`), &p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"Resolution":"event","HorizonHours":168,"Hosts":6}`), &p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.CanonicalHash() != p2.CanonicalHash() {
+		t.Fatal("JSON key order changed the hash")
+	}
+	if p1.CanonicalHash() == (Params{}).CanonicalHash() {
+		t.Fatal("decoded params hash equal to zero params")
+	}
+}
+
+// TestCanonicalHashNilNetworkDistinct pins that a nil fabric (perfect
+// delivery) never hashes equal to a declared one — not even the
+// zero-loss declaration, whose report grows wake columns.
+func TestCanonicalHashNilNetworkDistinct(t *testing.T) {
+	var nilNet *Network
+	if nilNet.CanonicalHash() == (&Network{}).CanonicalHash() {
+		t.Fatal("nil network hashes equal to the zero declaration")
+	}
+	withSubnet := &Network{Subnets: []Subnet{{Name: "edge", Classes: []string{"std"}}}}
+	if withSubnet.CanonicalHash() == (&Network{}).CanonicalHash() {
+		t.Fatal("subnet topology not hashed")
+	}
+	relayed := &Network{Subnets: []Subnet{{Name: "edge", Classes: []string{"std"}, Relay: true}}}
+	if withSubnet.CanonicalHash() == relayed.CanonicalHash() {
+		t.Fatal("relay flag not hashed")
+	}
+}
+
+// TestCanonicalHashCoversEveryField walks every field of every spec
+// struct in the cache key by reflection, flips it to a non-zero value
+// (through unsafe for unexported fields — the hash must cover those
+// too) and asserts the hash moves. This is the future-proofing test:
+// a knob added to Tuning or Params without thought for caching is
+// still covered, because the walk discovers it; a knob of a kind the
+// canonical encoding cannot digest panics in CanonicalHash, which this
+// test would surface as a failure on the new field.
+func TestCanonicalHashCoversEveryField(t *testing.T) {
+	specs := []struct {
+		name string
+		zero func() reflect.Value // addressable zero value
+		hash func(v reflect.Value) string
+	}{
+		{"Params", func() reflect.Value { return reflect.New(reflect.TypeOf(Params{})).Elem() },
+			func(v reflect.Value) string { return v.Interface().(Params).CanonicalHash() }},
+		{"Tuning", func() reflect.Value { return reflect.New(reflect.TypeOf(Tuning{})).Elem() },
+			func(v reflect.Value) string { return v.Interface().(Tuning).CanonicalHash() }},
+		{"Sweep", func() reflect.Value { return reflect.New(reflect.TypeOf(Sweep{})).Elem() },
+			func(v reflect.Value) string { return v.Interface().(Sweep).CanonicalHash() }},
+		{"Network", func() reflect.Value { return reflect.New(reflect.TypeOf(Network{})).Elem() },
+			func(v reflect.Value) string { n := v.Interface().(Network); return (&n).CanonicalHash() }},
+	}
+	for _, spec := range specs {
+		zeroHash := spec.hash(spec.zero())
+		typ := spec.zero().Type()
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			mutated := spec.zero()
+			setNonZero(t, mutated.Field(i))
+			if got := spec.hash(mutated); got == zeroHash {
+				t.Errorf("%s.%s: mutating the field does not change the canonical hash — "+
+					"a cache would serve stale results across different %s values",
+					spec.name, f.Name, f.Name)
+			}
+		}
+	}
+}
+
+// setNonZero writes a non-zero value into f, reaching unexported fields
+// through unsafe (test-only; the production hash reads them via the
+// kind accessors, which reflection permits).
+func setNonZero(t *testing.T, f reflect.Value) {
+	t.Helper()
+	if !f.CanSet() {
+		f = reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem()
+	}
+	switch f.Kind() {
+	case reflect.Bool:
+		f.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		f.SetInt(7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		f.SetUint(7)
+	case reflect.Float32, reflect.Float64:
+		f.SetFloat(7.5)
+	case reflect.String:
+		f.SetString("x")
+	case reflect.Slice:
+		// A 1-element slice already differs from the zero nil slice via
+		// the length tag; populate a leaf anyway so struct elements
+		// (e.g. Subnet) are exercised through their own encoding.
+		el := reflect.New(f.Type().Elem()).Elem()
+		if el.Kind() == reflect.Struct {
+			for j := 0; j < el.NumField(); j++ {
+				if el.Field(j).Kind() == reflect.String {
+					setNonZero(t, el.Field(j))
+					break
+				}
+			}
+		} else {
+			setNonZero(t, el)
+		}
+		f.Set(reflect.Append(reflect.MakeSlice(f.Type(), 0, 1), el))
+	default:
+		t.Fatalf("setNonZero: unsupported field kind %s (extend the test — "+
+			"and check the canonical encoding digests it)", f.Kind())
+	}
+}
+
+// TestCanonicalHashFloatBitExact pins the bit-exact float encoding:
+// adjacent representable values — which a fixed-precision text
+// encoding would conflate — stay distinct, and so do 0 and -0.
+func TestCanonicalHashFloatBitExact(t *testing.T) {
+	a := Tuning{MaxGraceSeconds: 0.1}
+	b := Tuning{MaxGraceSeconds: math.Nextafter(0.1, 1)}
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Fatal("adjacent float bit patterns hash equal")
+	}
+	pos := Tuning{JitterAmount: 0}
+	neg := Tuning{JitterAmount: math.Copysign(0, -1)}
+	if pos.CanonicalHash() == neg.CanonicalHash() {
+		t.Fatal("0 and -0 hash equal")
+	}
+}
+
+// TestCanonicalHashRejectsUnhashableKind pins the loud-failure path: a
+// spec field of a kind without a canonical encoding must panic, not
+// silently drop out of the cache key.
+func TestCanonicalHashRejectsUnhashableKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hashing a func field did not panic")
+		}
+	}()
+	type bad struct{ F func() }
+	canonicalHash(reflect.ValueOf(bad{}))
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"drowsydc/internal/dcsim"
 	"drowsydc/internal/exp"
@@ -21,8 +22,20 @@ type Options struct {
 	// PrivateCaches disables the shared-trace stores, giving every VM
 	// its own private memo (the pre-scenario behaviour). Exists for the
 	// shared-vs-private equivalence test and for memory-vs-sharing
-	// experiments.
+	// experiments. It wins over Stores.
 	PrivateCaches bool
+	// Stores, when non-nil, sources the shared trace/timeline stores
+	// from a server-lifetime cache instead of building per-run ones, so
+	// repeated runs of the same workload structure (a drowsyd serving
+	// loop) reuse one immutable memo. Results are bit-identical either
+	// way.
+	Stores *StoreCache
+	// Progress, when non-nil, is called after each completed simulation
+	// cell with the number of cells completed so far and the total (see
+	// Scenario.CellCount). Calls arrive from concurrent worker
+	// goroutines, possibly out of done order; the callback must be
+	// cheap and thread-safe. It observes execution, never alters it.
+	Progress func(done, total int)
 }
 
 // PolicyResult is one comparison column of a scenario run.
@@ -123,16 +136,39 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	stores := sc.sharedStores()
-	if opt.PrivateCaches {
-		stores = runStores{}
-	}
+	stores := opt.stores(sc)
 	cols := sc.policies()
+	progress := opt.progressCounter(len(cols))
 	results := exp.ParMap(opt.Workers, len(cols), func(i int) *dcsim.Result {
-		return runCell(sc, cols[i], stores)
+		r := runCell(sc, cols[i], stores)
+		progress()
+		return r
 	})
 	rep := assemble(sc, cols, results)
 	return &rep, nil
+}
+
+// stores resolves which shared stores a run uses: none under
+// PrivateCaches, the server-lifetime cache's when Stores is set,
+// per-run ones otherwise.
+func (opt Options) stores(sc Scenario) runStores {
+	if opt.PrivateCaches {
+		return runStores{}
+	}
+	if opt.Stores != nil {
+		return opt.Stores.storesFor(sc)
+	}
+	return sc.sharedStores()
+}
+
+// progressCounter returns the per-cell completion hook: a shared atomic
+// counter feeding opt.Progress, or a no-op when no observer is set.
+func (opt Options) progressCounter(total int) func() {
+	if opt.Progress == nil {
+		return func() {}
+	}
+	var done atomic.Int64
+	return func() { opt.Progress(int(done.Add(1)), total) }
 }
 
 // runCell executes one (scenario, policy column) cell: a fully
@@ -218,25 +254,50 @@ func assemble(sc Scenario, cols []PolicyConfig, results []*dcsim.Result) Report 
 	return rep
 }
 
-// RunFamily looks a family up, builds it at the given scale and runs
-// it — the one-call path the CLI and the facade use.
-func RunFamily(name string, p Params, opt Options) (*Report, error) {
+// BuildFamily looks the named family up and builds it at the given
+// scale, applying the Params-level resolution and shard-worker
+// overrides. It is the shared validation front of RunFamily,
+// RunFamilySweep and drowsyd's request decoder: every path rejects a
+// malformed request with the identical error text, so the HTTP error
+// envelope and the CLI's stderr never drift apart.
+func BuildFamily(name string, p Params) (Scenario, error) {
 	if p.Hosts < 0 || p.HorizonHours < 0 {
 		// Zero means "family default"; a negative value is a typo that
 		// must not silently run the (possibly year-scale) default.
-		return nil, fmt.Errorf("scenario: negative scale override (hosts %d, horizon %d)",
+		return Scenario{}, fmt.Errorf("scenario: negative scale override (hosts %d, horizon %d)",
 			p.Hosts, p.HorizonHours)
 	}
 	f, ok := Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("scenario: unknown family %q (see `drowsyctl scenario list`)", name)
+		return Scenario{}, fmt.Errorf("scenario: unknown family %q (see `drowsyctl scenario list`)", name)
 	}
 	sc := f.Build(p)
 	if err := applyResolution(&sc, p.Resolution); err != nil {
-		return nil, err
+		return Scenario{}, err
 	}
 	applyShardWorkers(&sc, p.ShardWorkers)
+	return sc, nil
+}
+
+// RunFamily looks a family up, builds it at the given scale and runs
+// it — the one-call path the CLI and the facade use.
+func RunFamily(name string, p Params, opt Options) (*Report, error) {
+	sc, err := BuildFamily(name, p)
+	if err != nil {
+		return nil, err
+	}
 	return Run(sc, opt)
+}
+
+// CellCount returns the number of independent simulation cells a run
+// (or, with a sweep axis, a sweep) of the scenario executes — the total
+// an Options.Progress observer reports against.
+func (sc Scenario) CellCount() int {
+	cells := len(sc.policies())
+	if sc.Sweep.Enabled() {
+		cells *= len(sc.Sweep.Values)
+	}
+	return cells
 }
 
 // applyShardWorkers applies a Params-level shard-worker override (0

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// StoreCache promotes the per-run shared trace/timeline stores to
+// server lifetime: a drowsyd process keeps one StoreCache, passes it to
+// every Run/RunSweep via Options.Stores, and all requests that
+// materialize the same workload structure read the same immutable
+// memos. Within one run the stores are already shared across every
+// policy cell and sweep point; the cache extends exactly that sharing
+// across requests, which is safe for the same reason — trace.Shared,
+// trace.SharedTimeline and the trace.VariantMemo base stores are
+// append-only concurrent memos whose reads are bit-identical to direct
+// evaluation, so two concurrent requests racing on one store can only
+// ever agree.
+//
+// Entries are keyed by the scenario's workload structure: family name,
+// start, horizon, resolution and every scalar field of every workload
+// group. Tuning, network and sweep knobs are deliberately absent — none
+// of them reaches a store (variant jitter and phase shifts are overlaid
+// per read by VariantMemo, never written into the base memo), so a
+// grace sweep and a wake-loss sweep of the same family share one entry.
+// The key cannot see a group's generator function; callers must only
+// pass scenarios whose groups are a pure function of the key, which
+// holds for every registry family (Build is deterministic in Params).
+type StoreCache struct {
+	mu sync.Mutex
+	m  map[string]runStores
+}
+
+// NewStoreCache returns an empty server-lifetime store cache.
+func NewStoreCache() *StoreCache {
+	return &StoreCache{m: make(map[string]runStores)}
+}
+
+// Len reports the number of distinct workload structures cached —
+// surfaced by drowsyd's stats endpoint as store_entries.
+func (c *StoreCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// storesFor returns the cached stores for sc's workload structure,
+// building and memoizing them on first use. The mutex only guards the
+// map; the stores themselves are concurrent by construction.
+func (c *StoreCache) storesFor(sc Scenario) runStores {
+	key := structuralKey(sc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.m[key]; ok {
+		return st
+	}
+	st := sc.sharedStores()
+	c.m[key] = st
+	return st
+}
+
+// structuralKey identifies everything sharedStores reads: the replay
+// span (start + horizon), whether timeline stores exist (resolution)
+// and each group's structural scalars. Field names are spelled into the
+// key so two groups that happen to collide numerically across different
+// fields cannot alias.
+func structuralKey(sc Scenario) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|start=%d|horizon=%d|res=%d|", sc.Name, sc.Start, sc.HorizonHours, sc.Resolution)
+	for _, g := range sc.Groups {
+		fmt.Fprintf(&b, "g{name=%s,count=%d,kind=%d,mem=%d,vcpu=%d,repl=%t,shift=%d,seed=%d,timer=%t,arrive=%d,life=%d}",
+			g.Name, g.Count, int(g.Kind), g.MemGB, g.VCPUs, g.Replicated,
+			g.ShiftStepHours, g.Seed, g.TimerDriven, g.ArriveEvery, g.LifetimeHours)
+	}
+	return b.String()
+}

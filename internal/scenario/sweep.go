@@ -423,12 +423,12 @@ func RunSweep(sc Scenario, opt Options) (*SweepReport, error) {
 			break
 		}
 	}
-	stores := storeSrc.sharedStores()
-	if opt.PrivateCaches {
-		stores = runStores{}
-	}
+	stores := opt.stores(storeSrc)
+	progress := opt.progressCounter(len(points) * len(cols))
 	cells := exp.ParMap(opt.Workers, len(points)*len(cols), func(i int) *dcsim.Result {
-		return runCell(points[i/len(cols)], cols[i%len(cols)], stores)
+		r := runCell(points[i/len(cols)], cols[i%len(cols)], stores)
+		progress()
+		return r
 	})
 	rep := &SweepReport{
 		Scenario:    sc.Name,
@@ -449,19 +449,10 @@ func RunSweep(sc Scenario, opt Options) (*SweepReport, error) {
 // the sweep axis and executes it — the one-call path the CLI and the
 // facade use.
 func RunFamilySweep(name string, p Params, sw Sweep, opt Options) (*SweepReport, error) {
-	if p.Hosts < 0 || p.HorizonHours < 0 {
-		return nil, fmt.Errorf("scenario: negative scale override (hosts %d, horizon %d)",
-			p.Hosts, p.HorizonHours)
-	}
-	f, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown family %q (see `drowsyctl scenario list`)", name)
-	}
-	sc := f.Build(p)
-	if err := applyResolution(&sc, p.Resolution); err != nil {
+	sc, err := BuildFamily(name, p)
+	if err != nil {
 		return nil, err
 	}
-	applyShardWorkers(&sc, p.ShardWorkers)
 	sc.Sweep = sw
 	return RunSweep(sc, opt)
 }

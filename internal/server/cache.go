@@ -1,0 +1,95 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The result cache with single-flight deduplication. Every entry holds
+// the exact response bytes of one (kind, spec) cache key; because runs
+// are byte-reproducible, serving cached bytes is indistinguishable from
+// re-simulating. An entry is inserted at lookup time in "in-flight"
+// state (done still open), so N concurrent identical requests find one
+// entry: the first becomes the leader and computes, the rest wait on
+// done and read the same bytes — one simulation, N responses.
+//
+// Failure and cancellation discipline: a leader that fails removes its
+// entry (errors are never cached — the next request retries); a leader
+// whose client disconnects keeps computing detached (see pool.Go) and
+// fulfills normally, so cancellation can only ever leave the cache
+// either empty or holding a complete, correct entry.
+
+// progressEvent is one cell-completion notification of an in-flight
+// job, forwarded to streaming clients.
+type progressEvent struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// entry is one cache slot. body and err are written exactly once,
+// before done is closed; readers must wait on done first.
+type entry struct {
+	done chan struct{}
+	// progress buffers every cell-completion event of the computing
+	// job (capacity = cell count, so sends never block the simulation);
+	// only the streaming leader handler drains it.
+	progress chan progressEvent
+	body     []byte
+	err      error
+}
+
+// resultCache is the keyed single-flight response cache.
+type resultCache struct {
+	mu     sync.Mutex
+	m      map[string]*entry
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{m: make(map[string]*entry)}
+}
+
+// lookup returns the entry for key, creating an in-flight one when
+// absent. leader is true for the caller that must compute and fulfill
+// it. cells sizes the progress buffer (the job's total cell count).
+// A hit is counted for any entry already present — complete or still
+// in flight: either way the requester rides an existing simulation.
+func (c *resultCache) lookup(key string, cells int) (e *entry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		c.hits.Add(1)
+		return e, false
+	}
+	e = &entry{
+		done:     make(chan struct{}),
+		progress: make(chan progressEvent, cells+1),
+	}
+	c.m[key] = e
+	c.misses.Add(1)
+	return e, true
+}
+
+// fulfill publishes the computed bytes and wakes every waiter.
+func (c *resultCache) fulfill(e *entry, body []byte) {
+	e.body = body
+	close(e.done)
+}
+
+// fail publishes the error, wakes waiters and removes the entry so the
+// next identical request retries instead of reading a cached failure.
+func (c *resultCache) fail(key string, e *entry, err error) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+	e.err = err
+	close(e.done)
+}
+
+// len reports the number of cached (or in-flight) entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

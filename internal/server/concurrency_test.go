@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drowsydc/internal/scenario"
+)
+
+// The concurrency tests substitute the Server's run seams with gated
+// stubs, so single-flight behaviour is assertable deterministically
+// (the gate decides when the "simulation" finishes) and the suite
+// stays fast enough to run under -race on every change. The contract
+// tests in server_test.go cover the real execution path.
+
+// stubReport fabricates a report whose bytes encode the request inputs,
+// so a cache collision between distinct specs would surface as one
+// spec's response carrying another spec's echo.
+func stubReport(name string, p scenario.Params) *scenario.Report {
+	return &scenario.Report{
+		Scenario:     name,
+		Description:  fmt.Sprintf("stub %s hosts=%d horizon=%d res=%s shard=%d", name, p.Hosts, p.HorizonHours, p.Resolution, p.ShardWorkers),
+		Hosts:        p.Hosts,
+		HorizonHours: p.HorizonHours,
+	}
+}
+
+// TestSingleFlightConcurrentIdentical fires 16 concurrent identical
+// run requests at a gated stub and asserts exactly one simulation
+// runs: one miss, fifteen hits, sixteen byte-identical bodies.
+func TestSingleFlightConcurrentIdentical(t *testing.T) {
+	s := New(Config{Version: "test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var sims atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.runFamily = func(name string, p scenario.Params, opt scenario.Options) (*scenario.Report, error) {
+		if sims.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return stubReport(name, p), nil
+	}
+
+	const clients = 16
+	spec := `{"family":"always-on-mix","hosts":6,"horizon_days":7}`
+	bodies := make([][]byte, clients)
+	caches := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, cache, body := post(t, ts, "/v1/run", spec)
+			if status != http.StatusOK {
+				t.Errorf("client %d: status %d: %s", i, status, body)
+			}
+			bodies[i], caches[i] = body, cache
+		}(i)
+	}
+
+	// Hold the gate until the leader is inside the stub, so at least
+	// one joiner demonstrably attached to an in-flight entry (the rest
+	// may also arrive before release; either way the counters pin the
+	// single flight).
+	<-started
+	close(release)
+	wg.Wait()
+
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("%d simulations ran for %d identical requests, want 1", n, clients)
+	}
+	misses, hits := 0, 0
+	for i, c := range caches {
+		switch c {
+		case "miss":
+			misses++
+		case "hit":
+			hits++
+		default:
+			t.Fatalf("client %d: X-Drowsyd-Cache = %q", i, c)
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d body differs from client 0", i)
+		}
+	}
+	if misses != 1 || hits != clients-1 {
+		t.Fatalf("misses=%d hits=%d, want 1/%d", misses, hits, clients-1)
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.Misses != 1 || st.Hits != clients-1 || st.CacheEntries != 1 {
+		t.Fatalf("stats = %+v, want runs=1 misses=1 hits=%d entries=1", st, clients-1)
+	}
+}
+
+// TestDistinctSpecsNeverCollide posts a battery of near-identical
+// specs differing in exactly one identity-bearing field each and
+// asserts every one missed, ran its own simulation, occupies its own
+// cache entry — and, where the stub echo can show it, produced
+// distinct bytes.
+func TestDistinctSpecsNeverCollide(t *testing.T) {
+	s := New(Config{Version: "test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.runFamily = func(name string, p scenario.Params, opt scenario.Options) (*scenario.Report, error) {
+		return stubReport(name, p), nil
+	}
+	s.runSweep = func(name string, p scenario.Params, sw scenario.Sweep, opt scenario.Options) (*scenario.SweepReport, error) {
+		rep := &scenario.SweepReport{Scenario: name, Param: sw.Param}
+		for _, v := range sw.Values {
+			rep.Points = append(rep.Points, scenario.SweepPoint{Value: v, Report: *stubReport(name, p)})
+		}
+		return rep, nil
+	}
+
+	requests := []struct {
+		path, body string
+	}{
+		{"/v1/run", `{"family":"always-on-mix","hosts":6,"horizon_days":7}`},
+		{"/v1/run", `{"family":"always-on-mix","hosts":12,"horizon_days":7}`},
+		{"/v1/run", `{"family":"always-on-mix","hosts":6,"horizon_days":3}`},
+		{"/v1/run", `{"family":"diurnal-office","hosts":6,"horizon_days":7}`},
+		// shard_workers is conservatively part of the key (the report
+		// bytes are bit-identical, so a shared entry would also be
+		// correct — but the conservative key must at least never serve
+		// a wrong body, which the echo below pins).
+		{"/v1/run", `{"family":"always-on-mix","hosts":6,"horizon_days":7,"shard_workers":4}`},
+		{"/v1/sweep", `{"family":"diurnal-office","param":"grace","values":[0,30],"hosts":6,"horizon_days":7}`},
+		{"/v1/sweep", `{"family":"diurnal-office","param":"grace","values":[0,60],"hosts":6,"horizon_days":7}`},
+		{"/v1/sweep", `{"family":"diurnal-office","param":"suspend-latency","values":[1,2],"hosts":6,"horizon_days":7}`},
+	}
+	bodies := make([][]byte, len(requests))
+	for i, rq := range requests {
+		status, cache, body := post(t, ts, rq.path, rq.body)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, body)
+		}
+		if cache != "miss" {
+			t.Fatalf("request %d: X-Drowsyd-Cache = %q, want miss (spec collided with an earlier one)", i, cache)
+		}
+		bodies[i] = body
+	}
+	st := s.Stats()
+	if int(st.Misses) != len(requests) || st.Hits != 0 || int(st.Runs) != len(requests) ||
+		st.CacheEntries != len(requests) {
+		t.Fatalf("stats = %+v, want %d misses/runs/entries and 0 hits", st, len(requests))
+	}
+	// The stub echoes every identity-bearing input (including
+	// shard_workers and the sweep axis), so all bodies must be
+	// pairwise distinct.
+	for i := range bodies {
+		for j := i + 1; j < len(bodies); j++ {
+			if bytes.Equal(bodies[i], bodies[j]) {
+				t.Fatalf("requests %d and %d returned identical bodies", i, j)
+			}
+		}
+	}
+}
+
+// TestCancellationLeavesCacheConsistent cancels the leader's request
+// mid-simulation and asserts the detached job still completes and
+// fulfills the cache: the next identical request is a hit with the
+// correct bytes, and no second simulation runs.
+func TestCancellationLeavesCacheConsistent(t *testing.T) {
+	s := New(Config{Version: "test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var sims atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	finished := make(chan struct{})
+	s.runFamily = func(name string, p scenario.Params, opt scenario.Options) (*scenario.Report, error) {
+		if sims.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		defer close(finished)
+		return stubReport(name, p), nil
+	}
+
+	spec := `{"family":"always-on-mix","hosts":6,"horizon_days":7}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/run", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	<-started
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request returned without error")
+	}
+	close(release)
+	<-finished
+	// The fulfill happens moments after the stub returns; Drain pins
+	// the job's completion (handler goroutines aside, the pool is the
+	// job's lifecycle).
+	drainCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	defer stop()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain after canceled job: %v", err)
+	}
+
+	status, cache, body := post(t, ts, "/v1/run", spec)
+	if status != http.StatusOK || cache != "hit" {
+		t.Fatalf("post-cancel request: status %d cache %q, want 200 hit", status, cache)
+	}
+	var expect bytes.Buffer
+	p := scenario.Params{Hosts: 6, HorizonHours: 7 * 24, ShardWorkers: 1}
+	if err := stubReport("always-on-mix", p).WriteJSON(&expect); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, expect.Bytes()) {
+		t.Fatalf("cached body after cancellation is wrong\n--- got ---\n%s\n--- want ---\n%s",
+			body, expect.Bytes())
+	}
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("%d simulations ran, want 1 (cancellation must not evict or re-run)", n)
+	}
+}
+
+// TestErrorsAreNotCached asserts a failed job leaves no cache entry:
+// the next identical request re-runs and can succeed.
+func TestErrorsAreNotCached(t *testing.T) {
+	s := New(Config{Version: "test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var sims atomic.Int32
+	s.runFamily = func(name string, p scenario.Params, opt scenario.Options) (*scenario.Report, error) {
+		if sims.Add(1) == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return stubReport(name, p), nil
+	}
+
+	spec := `{"family":"always-on-mix","hosts":6,"horizon_days":7}`
+	status, _, body := post(t, ts, "/v1/run", spec)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("failing run: status %d: %s", status, body)
+	}
+	if !strings.Contains(string(body), "transient failure") {
+		t.Fatalf("error envelope missing the job error: %s", body)
+	}
+	if st := s.Stats(); st.CacheEntries != 0 {
+		t.Fatalf("failed job left %d cache entries, want 0", st.CacheEntries)
+	}
+
+	status, cache, _ := post(t, ts, "/v1/run", spec)
+	if status != http.StatusOK || cache != "miss" {
+		t.Fatalf("retry after failure: status %d cache %q, want 200 miss", status, cache)
+	}
+	if n := sims.Load(); n != 2 {
+		t.Fatalf("%d simulations ran, want 2 (failure retried, not served from cache)", n)
+	}
+}

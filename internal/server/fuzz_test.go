@@ -1,0 +1,73 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzJobSpec drives the request decoder and validator with arbitrary
+// bodies: any input must either parse into a spec that builds (and
+// derives a cache key) cleanly, or fail with a descriptive error —
+// never panic, never return an empty error. The seeds cover every
+// rejection class the error-envelope fixture pins plus the two valid
+// shapes, so mutation starts from both sides of the boundary.
+func FuzzJobSpec(f *testing.F) {
+	seeds := []string{
+		`{"family":"always-on-mix","hosts":6,"horizon_days":7}`,
+		`{"family":"diurnal-office","param":"grace","values":[0,30,120],"hosts":6,"horizon_days":7}`,
+		`{"family":"lossy-wan","param":"wake-loss","values":"0,0.05,0.2"}`,
+		`{"family":"interactive-web","resolution":"event"}`,
+		`{"family":"no-such-family"}`,
+		`{"familly":"typo"}`,
+		`{"family":"always-on-mix","hosts":-6}`,
+		`{"family":"always-on-mix","hosts":1000000}`,
+		`{"family":"always-on-mix","horizon_days":100000}`,
+		`{"family":"always-on-mix","shard_workers":-1}`,
+		`{"family":"always-on-mix","workers":-2}`,
+		`{"family":"always-on-mix","resolution":"weekly"}`,
+		`{"family":"diurnal-office","param":"grace","values":[120,30,0]}`,
+		`{"family":"diurnal-office","param":"grace","values":"0,nan,inf"}`,
+		`{"family":"diurnal-office","param":"grace","values":[1e308,2e308]}`,
+		`{"family":"diurnal-office","param":"grace","values":{"a":1}}`,
+		`{"family":"diurnal-office","param":"nope","values":[1,2]}`,
+		`{"family":"always-on-mix","param":"grace","values":[0,30],"stream":true}`,
+		`{"family":"always-on-mix"}{"family":"x"}`,
+		`{"family":"always-on-mix","hosts":"six"}`,
+		`null`, `[]`, `42`, `"family"`, `{`, ``, `   `,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseJobSpec(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("ParseJobSpec returned an empty error")
+			}
+			return
+		}
+		// Both builders must accept or reject cleanly whatever parsed;
+		// neither executes a simulation. A spec that builds must also
+		// survive cache-key derivation (the canonical hashes panic on
+		// unhashable kinds — none may be reachable from a request).
+		if sc, err := spec.BuildRun(Limits{}); err != nil {
+			if err.Error() == "" {
+				t.Fatal("BuildRun returned an empty error")
+			}
+		} else {
+			if sc.CellCount() <= 0 {
+				t.Fatalf("valid run spec has %d cells", sc.CellCount())
+			}
+			_ = cacheKey("run", sc, spec.params(), "fuzz")
+		}
+		if sc, err := spec.BuildSweep(Limits{}); err != nil {
+			if err.Error() == "" {
+				t.Fatal("BuildSweep returned an empty error")
+			}
+		} else {
+			if sc.CellCount() <= 0 {
+				t.Fatalf("valid sweep spec has %d cells", sc.CellCount())
+			}
+			_ = cacheKey("sweep", sc, spec.params(), "fuzz")
+		}
+	})
+}

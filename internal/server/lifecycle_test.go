@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"drowsydc/internal/scenario"
+)
+
+// TestDrainWaitsForJobs pins the graceful-shutdown contract: Drain
+// reports the deadline error while a job is still running and returns
+// nil once the pool is empty.
+func TestDrainWaitsForJobs(t *testing.T) {
+	s := New(Config{Version: "test"})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s.pool.Go(func() {
+		close(started)
+		<-release
+	})
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a job still running")
+	}
+
+	close(release)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("Drain after job completion: %v", err)
+	}
+	if st := s.Stats(); st.RunningJobs != 0 || st.QueuedJobs != 0 {
+		t.Fatalf("drained pool reports %+v, want no jobs", st)
+	}
+}
+
+// TestStreamingFailure asserts a job that fails under a streaming
+// client still produces the error envelope (no progress was flushed,
+// so the status code is still writable) and leaves no cache entry.
+// The stream flag rides in the body here, covering the non-query
+// spelling.
+func TestStreamingFailure(t *testing.T) {
+	s := New(Config{Version: "test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.runSweep = func(name string, p scenario.Params, sw scenario.Sweep, opt scenario.Options) (*scenario.SweepReport, error) {
+		return nil, fmt.Errorf("backend exploded")
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(
+		`{"family":"diurnal-office","param":"grace","values":[0,30],"hosts":6,"horizon_days":7,"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if st := s.Stats(); st.CacheEntries != 0 {
+		t.Fatalf("failed streaming job left %d cache entries, want 0", st.CacheEntries)
+	}
+}
+
+// TestBuildVersion asserts the default cache-key version is never
+// empty: an empty component would let caches built by different
+// binaries collide if the key were ever persisted.
+func TestBuildVersion(t *testing.T) {
+	if v := buildVersion(); v == "" {
+		t.Fatal("buildVersion returned an empty string")
+	}
+	if s := New(Config{}); s.version == "" {
+		t.Fatal("New left the cache-key version empty")
+	}
+}

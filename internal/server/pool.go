@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the daemon's bounded job pool — the serving-side counterpart
+// of exp.ParMap's bounded fan-out. Where ParMap bounds the goroutines
+// of one finite grid, the pool bounds concurrently running simulations
+// across an unbounded request stream: at most workers jobs execute at
+// once, excess jobs queue on the semaphore in submission order
+// (approximately — Go's channel wakeups are not strictly FIFO, and the
+// jobs are independent deterministic cells, so order carries no
+// meaning, exactly as in ParMap).
+type pool struct {
+	sem     chan struct{}
+	wg      sync.WaitGroup
+	queued  atomic.Int64
+	running atomic.Int64
+}
+
+// newPool sizes the pool; workers <= 0 selects GOMAXPROCS, mirroring
+// ParMap's convention.
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &pool{sem: make(chan struct{}, workers)}
+}
+
+// Go enqueues fn and returns immediately. The job runs detached from
+// any request context: once a simulation is admitted it always runs to
+// completion and publishes its (deterministic, hence always valid)
+// result, so a client disconnect can never leave the result cache
+// holding a half-computed entry.
+func (p *pool) Go(fn func()) {
+	p.wg.Add(1)
+	p.queued.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.sem <- struct{}{}
+		p.queued.Add(-1)
+		p.running.Add(1)
+		defer func() {
+			p.running.Add(-1)
+			<-p.sem
+		}()
+		fn()
+	}()
+}
+
+// Drain blocks until every submitted job has finished or ctx expires —
+// the graceful-shutdown path: drowsyd stops accepting connections,
+// then drains in-flight work before exiting.
+func (p *pool) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

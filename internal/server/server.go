@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+
+	"drowsydc/internal/scenario"
+)
+
+// Config tunes a Server. The zero value serves with GOMAXPROCS job
+// workers, default limits and a build-info-derived code version.
+type Config struct {
+	// Workers bounds concurrently running simulation jobs (0 =
+	// GOMAXPROCS). Excess jobs queue; each job's internal parallelism
+	// is the request's workers/shard_workers knobs.
+	Workers int
+	// Limits bounds what one request may ask for (zero fields =
+	// defaults; see Limits).
+	Limits Limits
+	// Version stamps the result-cache key, so a cache carried across a
+	// code change (not possible with this in-memory cache, but the key
+	// contract outlives the storage choice) can never serve bytes an
+	// older binary computed. Empty selects the module build revision
+	// when available, else "dev".
+	Version string
+}
+
+// Server is the drowsyd service: handlers, job pool, result cache and
+// the server-lifetime shared trace store.
+type Server struct {
+	limits  Limits
+	version string
+	pool    *pool
+	cache   *resultCache
+	stores  *scenario.StoreCache
+	mux     *http.ServeMux
+	runs    atomic.Uint64
+
+	// Test seams: the production wiring points at scenario.RunFamily /
+	// scenario.RunFamilySweep; concurrency tests substitute gated stubs
+	// so single-flight behaviour is assertable without timing games.
+	runFamily func(name string, p scenario.Params, opt scenario.Options) (*scenario.Report, error)
+	runSweep  func(name string, p scenario.Params, sw scenario.Sweep, opt scenario.Options) (*scenario.SweepReport, error)
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		limits:    cfg.Limits.withDefaults(),
+		version:   cfg.Version,
+		pool:      newPool(cfg.Workers),
+		cache:     newResultCache(),
+		stores:    scenario.NewStoreCache(),
+		runFamily: scenario.RunFamily,
+		runSweep:  scenario.RunFamilySweep,
+	}
+	if s.version == "" {
+		s.version = buildVersion()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/families", s.handleFamilies)
+	s.mux.HandleFunc("/v1/params", s.handleParams)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// buildVersion derives the code-version cache-key component from the
+// embedded VCS revision, falling back to "dev" in uncommitted trees
+// and plain `go test` binaries.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				return kv.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain blocks until in-flight and queued simulation jobs finish or
+// ctx expires — the second half of graceful shutdown, after
+// http.Server.Shutdown has stopped new requests.
+func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
+
+// Stats is the observable state of the serving loop, surfaced by
+// GET /v1/stats. Hits count requests served from (or attached to) an
+// existing cache entry; Misses count requests that started a
+// simulation; Runs counts simulations actually executed — with
+// single-flight working, Runs == Misses.
+type Stats struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Runs         uint64 `json:"runs"`
+	CacheEntries int    `json:"cache_entries"`
+	StoreEntries int    `json:"store_entries"`
+	RunningJobs  int64  `json:"running_jobs"`
+	QueuedJobs   int64  `json:"queued_jobs"`
+}
+
+// Stats snapshots the counters (exported for tests and the stats
+// handler; individually loaded, so a concurrent request may move one
+// counter between loads — fine for observability).
+func (s *Server) Stats() Stats {
+	return Stats{
+		Hits:         s.cache.hits.Load(),
+		Misses:       s.cache.misses.Load(),
+		Runs:         s.runs.Load(),
+		CacheEntries: s.cache.len(),
+		StoreEntries: s.stores.Len(),
+		RunningJobs:  s.pool.running.Load(),
+		QueuedJobs:   s.pool.queued.Load(),
+	}
+}
+
+// errorEnvelope is the one error shape every endpoint emits. The error
+// string inside is exactly what drowsyctl would print to stderr for
+// the same mistake (request validation reuses the scenario package's
+// validation), so the golden-pinned envelope doubles as a contract on
+// the error text.
+type errorEnvelope struct {
+	Error string `json:"error"`
+}
+
+// writeError emits the error envelope with the same indented encoding
+// every report uses.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(errorEnvelope{Error: msg}) //nolint:errcheck // nothing left to tell the client
+}
+
+// readSpec decodes and bounds a request body. The 1 MB cap is far
+// above any legitimate spec (the largest is a maximal sweep grid,
+// under a kilobyte) and keeps a hostile body from ballooning memory.
+func readSpec(w http.ResponseWriter, r *http.Request) (*JobSpec, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("server: reading request body: %v", err)
+	}
+	return ParseJobSpec(body)
+}
+
+// handleRun serves POST /v1/run: body is a run JobSpec, response is
+// byte-identical to `drowsyctl scenario run -name F ...` JSON.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "server: POST required")
+		return
+	}
+	spec, err := readSpec(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sc, err := spec.BuildRun(s.limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := cacheKey("run", sc, spec.params(), s.version)
+	e, leader := s.cache.lookup(key, sc.CellCount())
+	if leader {
+		s.startJob(key, e, func(opt scenario.Options) (jsonReport, error) {
+			return s.runFamily(spec.Family, spec.params(), opt)
+		})
+	}
+	s.respond(w, r, e, leader, false)
+}
+
+// handleSweep serves POST /v1/sweep: body is a sweep JobSpec, response
+// is byte-identical to `drowsyctl scenario sweep ...` JSON — or, with
+// stream set (body field or ?stream=1), chunked progress events
+// followed by that same report.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "server: POST required")
+		return
+	}
+	spec, err := readSpec(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("stream") == "1" {
+		spec.Stream = true
+	}
+	stream := spec.Stream
+	spec.Stream = false // not part of the sweep identity; see cacheKey
+	sc, err := spec.BuildSweep(s.limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := cacheKey("sweep", sc, spec.params(), s.version)
+	e, leader := s.cache.lookup(key, sc.CellCount())
+	if leader {
+		s.startJob(key, e, func(opt scenario.Options) (jsonReport, error) {
+			return s.runSweep(spec.Family, spec.params(),
+				scenario.Sweep{Param: spec.Param, Values: sc.Sweep.Values}, opt)
+		})
+	}
+	s.respond(w, r, e, leader, stream)
+}
+
+// jsonReport is what a job computes: both report forms render through
+// the same WriteJSON discipline.
+type jsonReport interface{ WriteJSON(io.Writer) error }
+
+// startJob submits the leader's simulation to the bounded pool. The
+// job runs detached from the request context (pool.Go documents why)
+// with the server-lifetime store cache wired in; its per-cell progress
+// is teed into the entry for streaming clients.
+func (s *Server) startJob(key string, e *entry, run func(scenario.Options) (jsonReport, error)) {
+	s.pool.Go(func() {
+		s.runs.Add(1)
+		opt := scenario.Options{
+			Stores: s.stores,
+			Progress: func(done, total int) {
+				select {
+				case e.progress <- progressEvent{Done: done, Total: total}:
+				default: // buffer sized to the cell count; never block a simulation
+				}
+			},
+		}
+		rep, err := run(opt)
+		if err != nil {
+			s.cache.fail(key, e, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			s.cache.fail(key, e, err)
+			return
+		}
+		s.cache.fulfill(e, buf.Bytes())
+	})
+}
+
+// respond waits for the entry and writes the response. Streaming
+// leaders additionally forward progress events as they arrive — one
+// compact JSON object per line, flushed per event, with the final
+// report (bytes identical to the batch response) as the terminal
+// chunk; a line-wise reader can split on the first line equal to "{".
+// Followers and cache hits skip straight to the report: their
+// simulation either ran already or is someone else's to narrate.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, e *entry, leader, stream bool) {
+	cacheState := "hit"
+	if leader {
+		cacheState = "miss"
+	}
+	if stream && leader {
+		s.respondStreaming(w, r, e, cacheState)
+		return
+	}
+	select {
+	case <-e.done:
+	case <-r.Context().Done():
+		// Client gone; the job (if any) continues detached and will
+		// fulfill the cache for the next requester.
+		return
+	}
+	if e.err != nil {
+		writeError(w, http.StatusInternalServerError, e.err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Drowsyd-Cache", cacheState)
+	w.Write(e.body) //nolint:errcheck // client-side failure only
+}
+
+// respondStreaming is the leader's streaming path. Progress events can
+// arrive out of completion order (cells finish on concurrent workers);
+// the monotone filter keeps the emitted done counts non-decreasing.
+func (s *Server) respondStreaming(w http.ResponseWriter, r *http.Request, e *entry, cacheState string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Drowsyd-Cache", cacheState)
+	flusher, _ := w.(http.Flusher)
+	maxDone := 0
+	emit := func(ev progressEvent) {
+		if ev.Done <= maxDone {
+			return
+		}
+		maxDone = ev.Done
+		fmt.Fprintf(w, "{\"event\":\"progress\",\"done\":%d,\"total\":%d}\n", ev.Done, ev.Total)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for {
+		select {
+		case ev := <-e.progress:
+			emit(ev)
+		case <-e.done:
+			// Drain events that raced the close, then emit the report.
+			for {
+				select {
+				case ev := <-e.progress:
+					emit(ev)
+					continue
+				default:
+				}
+				break
+			}
+			if e.err != nil {
+				writeError(w, http.StatusInternalServerError, e.err.Error())
+				return
+			}
+			w.Write(e.body) //nolint:errcheck // client-side failure only
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// familyInfo is one catalog row of GET /v1/families.
+type familyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Probes      string `json:"probes"`
+	Hosts       int    `json:"hosts"`
+	VMs         int    `json:"vms"`
+	HorizonDays int    `json:"horizon_days"`
+}
+
+// handleFamilies serves the family catalog — the JSON twin of
+// `drowsyctl scenario list`, with each family built at its default
+// scale for the size columns.
+func (s *Server) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "server: GET required")
+		return
+	}
+	fams := scenario.Families()
+	out := struct {
+		Families []familyInfo `json:"families"`
+	}{Families: make([]familyInfo, 0, len(fams))}
+	for _, f := range fams {
+		sc := f.Build(scenario.Params{})
+		out.Families = append(out.Families, familyInfo{
+			Name:        f.Name,
+			Description: f.Description,
+			Probes:      f.Probes,
+			Hosts:       sc.TotalHosts(),
+			VMs:         sc.TotalVMs(),
+			HorizonDays: sc.HorizonHours / 24,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// paramInfo is one catalog row of GET /v1/params.
+type paramInfo struct {
+	Name        string `json:"name"`
+	Unit        string `json:"unit"`
+	Description string `json:"description"`
+}
+
+// handleParams serves the sweep-parameter catalog — the JSON twin of
+// `drowsyctl scenario params`.
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "server: GET required")
+		return
+	}
+	params := scenario.SweepParams()
+	out := struct {
+		Params []paramInfo `json:"params"`
+	}{Params: make([]paramInfo, 0, len(params))}
+	for _, p := range params {
+		out.Params = append(out.Params, paramInfo{Name: p.Name, Unit: p.Unit, Description: p.Description})
+	}
+	writeJSON(w, out)
+}
+
+// handleStats serves the serving-loop counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "server: GET required")
+		return
+	}
+	writeJSON(w, s.Stats())
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+// writeJSON emits v with the same indented encoding the reports use —
+// one JSON dialect across the whole surface.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client-side failure only
+}

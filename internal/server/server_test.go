@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The API contract tests byte-diff HTTP response bodies against the
+// drowsyctl golden fixtures: the daemon's run/sweep responses must be
+// the CLI's output down to the last byte, so one set of fixtures pins
+// both surfaces. Server-only surfaces (catalogs, the error envelope)
+// get their own fixtures under internal/server/testdata, regenerated
+// with:
+//
+//	go test ./internal/server -run TestServe -update
+
+var update = flag.Bool("update", false, "rewrite server golden fixtures")
+
+// cliGolden reads a fixture shared with the CLI's golden tests. Never
+// written here: the CLI owns those bytes, the server must match them.
+func cliGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("..", "..", "cmd", "drowsyctl", "testdata", name))
+	if err != nil {
+		t.Fatalf("reading CLI fixture: %v", err)
+	}
+	return want
+}
+
+// serverGolden compares got against a server-owned fixture, rewriting
+// it under -update.
+func serverGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/server -update` to create fixtures)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from fixture\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// newTestServer builds a Server with a pinned cache-key version (so
+// test binaries with and without VCS stamping behave identically) and
+// an httptest listener in front of it.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Version: "test"})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and returns the status, cache header and body.
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Drowsyd-Cache"), b
+}
+
+// get fetches a catalog endpoint.
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestContractRun pins POST /v1/run against the CLI's scenario_run
+// fixture (always-on-mix, 6 hosts, 7 days) and asserts the repeat
+// request is served from cache — same bytes, hit header, no second
+// simulation.
+func TestContractRun(t *testing.T) {
+	s, ts := newTestServer(t)
+	spec := `{"family":"always-on-mix","hosts":6,"horizon_days":7}`
+
+	status, cache, body := post(t, ts, "/v1/run", spec)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if cache != "miss" {
+		t.Fatalf("first request X-Drowsyd-Cache = %q, want miss", cache)
+	}
+	if want := cliGolden(t, "scenario_run.golden"); !bytes.Equal(body, want) {
+		t.Fatalf("run body drifted from CLI fixture\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+
+	status, cache, repeat := post(t, ts, "/v1/run", spec)
+	if status != http.StatusOK || cache != "hit" {
+		t.Fatalf("repeat: status %d cache %q, want 200 hit", status, cache)
+	}
+	if !bytes.Equal(repeat, body) {
+		t.Fatal("cache-hit body differs from the computed body")
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want runs=1 misses=1 hits=1", st)
+	}
+}
+
+// TestContractRunLossy pins the lossy-WoL report surface over HTTP
+// against the CLI's scenario_run_lossy fixture.
+func TestContractRunLossy(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, _, body := post(t, ts, "/v1/run", `{"family":"lossy-wan","hosts":6,"horizon_days":7}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if want := cliGolden(t, "scenario_run_lossy.golden"); !bytes.Equal(body, want) {
+		t.Fatalf("lossy run body drifted from CLI fixture\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+}
+
+// TestContractSweep pins POST /v1/sweep against the CLI's
+// scenario_sweep fixture (diurnal-office, grace, 0/30/120), asserts
+// the CLI's comma-string values spelling maps to the same cache entry
+// as the JSON-array spelling, and asserts the run request that follows
+// reuses the sweep's promoted trace store.
+func TestContractSweep(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	status, cache, body := post(t, ts, "/v1/sweep",
+		`{"family":"diurnal-office","param":"grace","values":[0,30,120],"hosts":6,"horizon_days":7}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if cache != "miss" {
+		t.Fatalf("first sweep X-Drowsyd-Cache = %q, want miss", cache)
+	}
+	if want := cliGolden(t, "scenario_sweep.golden"); !bytes.Equal(body, want) {
+		t.Fatalf("sweep body drifted from CLI fixture\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+
+	// The CLI's "0,30,120" string spelling parses to the same grid, so
+	// it must land on the same cache entry: identical requests in
+	// different spellings are one simulation.
+	status, cache, str := post(t, ts, "/v1/sweep",
+		`{"family":"diurnal-office","param":"grace","values":"0,30,120","hosts":6,"horizon_days":7}`)
+	if status != http.StatusOK || cache != "hit" {
+		t.Fatalf("string-values sweep: status %d cache %q, want 200 hit", status, cache)
+	}
+	if !bytes.Equal(str, body) {
+		t.Fatal("string-values body differs from array-values body")
+	}
+
+	// A plain run of the same family at the same scale materializes the
+	// same workload structure, so the server-lifetime store must hold
+	// one entry, not two: cross-request trace-store promotion.
+	status, _, runBody := post(t, ts, "/v1/run",
+		`{"family":"diurnal-office","hosts":6,"horizon_days":7}`)
+	if status != http.StatusOK {
+		t.Fatalf("run status %d: %s", status, runBody)
+	}
+	st := s.Stats()
+	if st.StoreEntries != 1 {
+		t.Fatalf("store entries = %d after sweep+run of one structure, want 1", st.StoreEntries)
+	}
+	if st.Runs != 2 || st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want runs=2 misses=2 hits=1", st)
+	}
+}
+
+// TestContractSweepStreaming exercises the chunked-progress path:
+// ndjson progress events with non-decreasing done counts, terminated
+// by a final report byte-identical to the batch (and CLI) form.
+func TestContractSweepStreaming(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/sweep?stream=1", "application/json",
+		strings.NewReader(`{"family":"diurnal-office","param":"grace","values":[0,30,120],"hosts":6,"horizon_days":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	// Progress lines are single-line {"event":"progress",...} objects;
+	// the report starts at the first line that is not one.
+	br := bufio.NewReader(resp.Body)
+	var events []progressEvent
+	var report bytes.Buffer
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			break
+		}
+		if err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if report.Len() == 0 && strings.HasPrefix(line, `{"event":"progress"`) {
+			var ev struct {
+				Event string `json:"event"`
+				progressEvent
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("bad progress line %q: %v", line, err)
+			}
+			events = append(events, ev.progressEvent)
+			continue
+		}
+		report.WriteString(line)
+	}
+
+	if len(events) == 0 {
+		t.Fatal("no progress events before the report")
+	}
+	total := events[0].Total
+	prev := 0
+	for _, ev := range events {
+		if ev.Total != total {
+			t.Fatalf("total drifted mid-stream: %d then %d", total, ev.Total)
+		}
+		if ev.Done <= prev {
+			t.Fatalf("done counts not strictly increasing: %d after %d", ev.Done, prev)
+		}
+		prev = ev.Done
+	}
+	if prev != total {
+		t.Fatalf("final progress %d/%d, want all cells reported", prev, total)
+	}
+	if want := cliGolden(t, "scenario_sweep.golden"); !bytes.Equal(report.Bytes(), want) {
+		t.Fatalf("streamed report drifted from CLI fixture\n--- got ---\n%s\n--- want ---\n%s",
+			report.Bytes(), want)
+	}
+}
+
+// TestServeCatalogs pins the catalog endpoints against server-owned
+// fixtures: GET /v1/families and GET /v1/params are the JSON twins of
+// `drowsyctl scenario list|params`, and a dropped family or renamed
+// sweep knob must surface as a fixture diff.
+func TestServeCatalogs(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, families := get(t, ts, "/v1/families")
+	if status != http.StatusOK {
+		t.Fatalf("families status %d", status)
+	}
+	serverGolden(t, "serve_families.golden", families)
+
+	status, params := get(t, ts, "/v1/params")
+	if status != http.StatusOK {
+		t.Fatalf("params status %d", status)
+	}
+	serverGolden(t, "serve_params.golden", params)
+}
+
+// TestServeErrors pins the error envelope: every rejection shape the
+// validator produces, with its status code and its CLI-matching error
+// text, in one fixture. None of these requests run a simulation.
+func TestServeErrors(t *testing.T) {
+	s, ts := newTestServer(t)
+	cases := []struct {
+		name, method, path, body string
+	}{
+		{"unknown-family", "POST", "/v1/run", `{"family":"no-such-family"}`},
+		{"missing-family", "POST", "/v1/run", `{"hosts":6}`},
+		{"unknown-field", "POST", "/v1/run", `{"family":"always-on-mix","hostss":6}`},
+		{"trailing-data", "POST", "/v1/run", `{"family":"always-on-mix"}{"family":"x"}`},
+		{"not-json", "POST", "/v1/run", `hosts=6`},
+		{"negative-scale", "POST", "/v1/run", `{"family":"always-on-mix","hosts":-6}`},
+		{"hosts-over-limit", "POST", "/v1/run", `{"family":"always-on-mix","hosts":100000}`},
+		{"negative-shard-workers", "POST", "/v1/run", `{"family":"always-on-mix","shard_workers":-1}`},
+		{"sweep-fields-on-run", "POST", "/v1/run", `{"family":"lossy-wan","param":"wake-loss","values":[0]}`},
+		{"sweep-missing-fields", "POST", "/v1/sweep", `{"family":"diurnal-office"}`},
+		{"unknown-param", "POST", "/v1/sweep", `{"family":"diurnal-office","param":"nope","values":[1,2]}`},
+		{"unsorted-grid", "POST", "/v1/sweep", `{"family":"diurnal-office","param":"grace","values":[120,30,0]}`},
+		{"non-finite-grid", "POST", "/v1/sweep", `{"family":"diurnal-office","param":"grace","values":"0,nan"}`},
+		{"grid-over-limit", "POST", "/v1/sweep", fmt.Sprintf(`{"family":"diurnal-office","param":"grace","values":%s}`, bigGrid(33))},
+		{"run-method", "GET", "/v1/run", ""},
+		{"sweep-method", "GET", "/v1/sweep", ""},
+		{"families-method", "POST", "/v1/families", ""},
+		{"params-method", "POST", "/v1/params", ""},
+		{"stats-method", "POST", "/v1/stats", ""},
+		{"sweep-bad-json", "POST", "/v1/sweep", `{"family":`},
+		{"oversized-body", "POST", "/v1/run", `{"family":"` + strings.Repeat("x", 1<<20) + `"}`},
+	}
+	var doc bytes.Buffer
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode < 400 {
+			t.Fatalf("%s: status %d, want an error", tc.name, resp.StatusCode)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Error == "" {
+			t.Fatalf("%s: response is not an error envelope: %s", tc.name, body)
+		}
+		fmt.Fprintf(&doc, "== %s status=%d\n%s", tc.name, resp.StatusCode, body)
+	}
+	serverGolden(t, "serve_errors.golden", doc.Bytes())
+	if st := s.Stats(); st.Runs != 0 || st.Misses != 0 || st.CacheEntries != 0 {
+		t.Fatalf("rejected requests touched the cache or ran jobs: %+v", st)
+	}
+}
+
+// bigGrid renders a strictly increasing JSON grid of n values.
+func bigGrid(n int) string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprint(i)
+	}
+	return "[" + strings.Join(vals, ",") + "]"
+}
+
+// TestServeHealthAndStats covers the liveness probe and the zero-state
+// stats shape.
+func TestServeHealthAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, body := get(t, ts, "/healthz")
+	if status != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", status, body)
+	}
+	status, body = get(t, ts, "/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats body not a Stats document: %v\n%s", err, body)
+	}
+	if st != (Stats{}) {
+		t.Fatalf("fresh server stats = %+v, want zero", st)
+	}
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"drowsydc/internal/scenario"
+)
+
+// JobSpec is the decoded body of a run or sweep request. Fields mirror
+// the `drowsyctl scenario run|sweep` flags one for one (hosts,
+// horizon_days, resolution, shard_workers, workers; param/values for
+// sweeps), so a curl of the daemon and an invocation of the CLI are the
+// same request in two spellings — and produce byte-identical reports.
+type JobSpec struct {
+	// Family names the registered scenario family to run.
+	Family string `json:"family"`
+	// Hosts and HorizonDays override the family's scale (0 = default).
+	Hosts       int `json:"hosts,omitempty"`
+	HorizonDays int `json:"horizon_days,omitempty"`
+	// Resolution overrides the activity resolution ("hourly"/"event",
+	// "" = family default).
+	Resolution string `json:"resolution,omitempty"`
+	// ShardWorkers bounds the intra-run sharded executor (0 and 1 are
+	// both serial, matching the CLI flag's default of 1; results are
+	// bit-identical at any value).
+	ShardWorkers int `json:"shard_workers,omitempty"`
+	// Workers bounds concurrently executed grid cells inside this job
+	// (0 = GOMAXPROCS). Execution-only: it is excluded from the cache
+	// key because it provably cannot change the response bytes.
+	Workers int `json:"workers,omitempty"`
+	// Param and Values declare the sweep axis (sweep requests only).
+	// Values is either a JSON array of numbers or the CLI's
+	// comma-separated string form ("0,30,120"), which goes through
+	// scenario.ParseValues and therefore fails with the CLI's errors.
+	Param  string          `json:"param,omitempty"`
+	Values json.RawMessage `json:"values,omitempty"`
+	// Stream asks a sweep for chunked progress events ahead of the
+	// final report (equivalent to the ?stream=1 query parameter).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// ParseJobSpec decodes a request body strictly: unknown fields, type
+// mismatches and trailing garbage are all rejected with errors naming
+// the offending input, never accepted silently (a typoed knob that
+// decodes to nothing would run the wrong simulation and cache it).
+func ParseJobSpec(data []byte) (*JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("server: bad job spec: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("server: trailing data after job spec")
+	}
+	return &s, nil
+}
+
+// Limits bounds what a single request may ask of the daemon. Zero
+// fields select the defaults; the caps exist because the CLI's "you
+// asked for it" stance does not transfer to a shared service — one
+// hundred-thousand-host request must not take the daemon away from
+// everyone else.
+type Limits struct {
+	// MaxHosts caps the hosts override (default 4096).
+	MaxHosts int
+	// MaxHorizonDays caps the horizon override (default 400, just over
+	// the year the registered families top out at).
+	MaxHorizonDays int
+	// MaxGridValues caps a sweep's value-grid length (default 32).
+	MaxGridValues int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxHosts == 0 {
+		l.MaxHosts = 4096
+	}
+	if l.MaxHorizonDays == 0 {
+		l.MaxHorizonDays = 400
+	}
+	if l.MaxGridValues == 0 {
+		l.MaxGridValues = 32
+	}
+	return l
+}
+
+// params maps the spec onto the scenario build parameters, defaulting
+// shard_workers to the CLI flag's default of 1 (bit-identical to any
+// other value, so the default is a pure convention).
+func (s *JobSpec) params() scenario.Params {
+	sw := s.ShardWorkers
+	if sw == 0 {
+		sw = 1
+	}
+	return scenario.Params{
+		Hosts:        s.Hosts,
+		HorizonHours: s.HorizonDays * 24,
+		Resolution:   s.Resolution,
+		ShardWorkers: sw,
+	}
+}
+
+// sweepValues resolves the Values field into a grid.
+func (s *JobSpec) sweepValues() ([]float64, error) {
+	trimmed := bytes.TrimSpace(s.Values)
+	if len(trimmed) == 0 {
+		return nil, nil
+	}
+	if trimmed[0] == '"' {
+		var str string
+		if err := json.Unmarshal(trimmed, &str); err != nil {
+			return nil, fmt.Errorf("server: bad values string: %v", err)
+		}
+		return scenario.ParseValues(str)
+	}
+	var vals []float64
+	if err := json.Unmarshal(trimmed, &vals); err != nil {
+		return nil, fmt.Errorf("server: values must be a JSON array of numbers "+
+			"or a comma-separated string like \"0,30,120\": %v", err)
+	}
+	return vals, nil
+}
+
+// checkCommon rejects spec shapes no scenario ever sees: negative
+// worker knobs and requests beyond the service limits. Everything the
+// scenario layer can judge itself (unknown family, negative scale,
+// malformed sweep grids) is left to it, so those errors match the CLI
+// exactly.
+func (s *JobSpec) checkCommon(l Limits) error {
+	if s.Family == "" {
+		return fmt.Errorf("server: missing field family")
+	}
+	if s.ShardWorkers < 0 {
+		return fmt.Errorf("server: shard_workers must be >= 1 (got %d); it bounds the "+
+			"per-job fleet executor's goroutines, not concurrent grid cells (that is workers)",
+			s.ShardWorkers)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("server: workers must be >= 0 (got %d); 0 means GOMAXPROCS", s.Workers)
+	}
+	if s.Hosts > l.MaxHosts {
+		return fmt.Errorf("server: hosts %d above the service limit %d", s.Hosts, l.MaxHosts)
+	}
+	if s.HorizonDays > l.MaxHorizonDays {
+		return fmt.Errorf("server: horizon_days %d above the service limit %d",
+			s.HorizonDays, l.MaxHorizonDays)
+	}
+	return nil
+}
+
+// BuildRun validates the spec as a run request and returns the built
+// scenario (never executed here — validation must stay cheap enough to
+// fuzz). Errors carry the same field-naming text the CLI prints.
+func (s *JobSpec) BuildRun(l Limits) (scenario.Scenario, error) {
+	l = l.withDefaults()
+	if s.Param != "" || len(s.Values) > 0 || s.Stream {
+		return scenario.Scenario{}, fmt.Errorf(
+			"server: run spec carries sweep fields (param/values/stream); POST /v1/sweep for sweeps")
+	}
+	if err := s.checkCommon(l); err != nil {
+		return scenario.Scenario{}, err
+	}
+	sc, err := scenario.BuildFamily(s.Family, s.params())
+	if err != nil {
+		return scenario.Scenario{}, err
+	}
+	if err := sc.Validate(); err != nil {
+		return scenario.Scenario{}, err
+	}
+	return sc, nil
+}
+
+// BuildSweep validates the spec as a sweep request and returns the
+// built scenario carrying its sweep axis.
+func (s *JobSpec) BuildSweep(l Limits) (scenario.Scenario, error) {
+	l = l.withDefaults()
+	if s.Family == "" || s.Param == "" || len(s.Values) == 0 {
+		missing := make([]string, 0, 3)
+		if s.Family == "" {
+			missing = append(missing, "family")
+		}
+		if s.Param == "" {
+			missing = append(missing, "param")
+		}
+		if len(s.Values) == 0 {
+			missing = append(missing, "values")
+		}
+		return scenario.Scenario{}, fmt.Errorf(
+			"server: sweep spec missing field(s) %s: family, param and values are required",
+			strings.Join(missing, ", "))
+	}
+	if err := s.checkCommon(l); err != nil {
+		return scenario.Scenario{}, err
+	}
+	vals, err := s.sweepValues()
+	if err != nil {
+		return scenario.Scenario{}, err
+	}
+	if len(vals) > l.MaxGridValues {
+		return scenario.Scenario{}, fmt.Errorf(
+			"server: sweep grid has %d values, above the service limit %d", len(vals), l.MaxGridValues)
+	}
+	sc, err := scenario.BuildFamily(s.Family, s.params())
+	if err != nil {
+		return scenario.Scenario{}, err
+	}
+	sc.Sweep = scenario.Sweep{Param: s.Param, Values: vals}
+	if err := sc.Validate(); err != nil {
+		return scenario.Scenario{}, err
+	}
+	return sc, nil
+}
+
+// cacheKey derives the result-cache key from a validated, built
+// scenario: the ROADMAP's (family, tuning hash, seed, resolution,
+// network, code-version) contract, spelled via the canonical spec
+// hashes — the group seeds ride inside the family+params identity, the
+// network seed inside the network hash. Execution-only knobs are
+// handled asymmetrically: Workers never enters (it cannot change a
+// byte), while shard_workers conservatively does (it rides in Params
+// and Tuning; a miss there costs one redundant — bit-identical —
+// simulation, never a wrong answer).
+func cacheKey(kind string, sc scenario.Scenario, p scenario.Params, version string) string {
+	return strings.Join([]string{
+		kind,
+		sc.Name,
+		p.CanonicalHash(),
+		sc.Tuning.CanonicalHash(),
+		sc.Sweep.CanonicalHash(),
+		fmt.Sprintf("res%d", int(sc.Resolution)),
+		sc.Network.CanonicalHash(),
+		version,
+	}, "|")
+}

@@ -117,3 +117,22 @@ func ScenarioSweepParams() []ScenarioSweepParam { return scenario.SweepParams() 
 func RunScenarioSweep(name string, p ScenarioParams, sw ScenarioSweep, opt ScenarioOptions) (*ScenarioSweepReport, error) {
 	return scenario.RunFamilySweep(name, p, sw, opt)
 }
+
+// BuildScenarioFamily builds the named family at the given scale
+// without executing it — the validation half of RunScenarioFamily,
+// for callers (like the drowsyd service) that need to reject bad
+// requests cheaply or customize the spec before running.
+func BuildScenarioFamily(name string, p ScenarioParams) (ScenarioSpec, error) {
+	return scenario.BuildFamily(name, p)
+}
+
+// ScenarioStoreCache is a cross-run immutable trace store: pass one via
+// ScenarioOptions.Stores and every run that materializes the same
+// workload structure (same families, scales, seeds, resolution) shares
+// one trace/timeline memo, whatever its tuning, network fabric or sweep
+// axis. Safe for concurrent use; results stay bit-identical. drowsyd
+// holds one for its whole lifetime.
+type ScenarioStoreCache = scenario.StoreCache
+
+// NewScenarioStoreCache creates an empty cross-run trace store.
+func NewScenarioStoreCache() *ScenarioStoreCache { return scenario.NewStoreCache() }
