@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -12,6 +13,19 @@ import (
 	"drowsydc/internal/exp"
 	"drowsydc/internal/scenario"
 )
+
+// loadBench reads a bench result JSON (a previous run's stdout).
+func loadBench(path string) ([]BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []BenchResult
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return rs, nil
+}
 
 // BenchResult is one benchmark row of the JSON report consumed by the
 // BENCH_*.json trajectory.
@@ -30,7 +44,32 @@ func runBench(args []string) {
 	quick := fs.Bool("quick", false, "shrink the workloads (CI smoke mode)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering every benchmark to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the benchmarks to this file")
+	compare := fs.String("compare", "", "baseline bench JSON (a previous run's stdout); print a delta table and exit non-zero on regression")
+	threshold := fs.Float64("threshold", 20, "regression threshold for -compare, in percent ns/op increase")
+	input := fs.String("input", "", "with -compare: take current results from this bench JSON instead of re-running the benchmarks")
 	_ = fs.Parse(args)
+
+	if *input != "" {
+		// Pure comparison mode: both sides come from files, nothing runs.
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -input requires -compare")
+			os.Exit(2)
+		}
+		cur, err := loadBench(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -input:", err)
+			os.Exit(1)
+		}
+		regressed, err := compareBench(os.Stderr, *compare, cur, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -compare:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -226,4 +265,64 @@ func runBench(args []string) {
 		fmt.Fprintln(os.Stderr, "drowsyctl bench:", err)
 		os.Exit(1)
 	}
+
+	if *compare != "" {
+		regressed, err := compareBench(os.Stderr, *compare, out, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl bench: -compare:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBench loads a baseline bench JSON and prints a per-benchmark
+// delta table to w (stdout stays pure result JSON, so a compared run's
+// output is still a valid future baseline). Returns true when any
+// benchmark present in both runs regressed in ns/op by more than
+// threshold percent. Benchmarks on only one side are listed but never
+// fail the comparison — workloads are added and renamed over time, and
+// bytes/allocs are informational (they are deterministic per workload,
+// but a byte regression is a review concern, not a gate).
+func compareBench(w io.Writer, baselinePath string, cur []BenchResult, threshold float64) (regressed bool, err error) {
+	base, err := loadBench(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	baseByName := make(map[string]BenchResult, len(base))
+	for _, b := range base {
+		baseByName[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "\nbenchmark comparison vs %s (threshold %+.0f%% ns/op)\n", baselinePath, threshold)
+	fmt.Fprintf(w, "%-36s %14s %14s %9s  %s\n", "name", "old ns/op", "new ns/op", "delta", "verdict")
+	seen := make(map[string]bool, len(cur))
+	for _, c := range cur {
+		seen[c.Name] = true
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-36s %14s %14.0f %9s  new (no baseline)\n", c.Name, "-", c.NsPerOp, "-")
+			continue
+		}
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		} else if delta < -threshold {
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-36s %14.0f %14.0f %+8.1f%%  %s\n", c.Name, b.NsPerOp, c.NsPerOp, delta, verdict)
+	}
+	for _, b := range base {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "%-36s %14.0f %14s %9s  removed (baseline only)\n", b.Name, b.NsPerOp, "-", "-")
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: at least one benchmark regressed beyond %.0f%%\n", threshold)
+	}
+	return regressed, nil
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline drops a baseline bench JSON into a temp dir.
+func writeBaseline(t *testing.T, doc string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompareBench covers the verdict logic: within-threshold drift is
+// ok, beyond-threshold slowdown regresses, beyond-threshold speedup is
+// flagged as improvement, and one-sided benchmarks never fail the run.
+func TestCompareBench(t *testing.T) {
+	base := writeBaseline(t, `[
+  {"name":"steady","iterations":1,"ns_per_op":1000,"allocs_per_op":1,"bytes_per_op":1},
+  {"name":"slower","iterations":1,"ns_per_op":1000,"allocs_per_op":1,"bytes_per_op":1},
+  {"name":"faster","iterations":1,"ns_per_op":1000,"allocs_per_op":1,"bytes_per_op":1},
+  {"name":"removed","iterations":1,"ns_per_op":1000,"allocs_per_op":1,"bytes_per_op":1}
+]`)
+	cur := []BenchResult{
+		{Name: "steady", NsPerOp: 1100}, // +10%: inside the 20% threshold
+		{Name: "slower", NsPerOp: 1300}, // +30%: regression
+		{Name: "faster", NsPerOp: 500},  // -50%: improvement
+		{Name: "added", NsPerOp: 42},    // no baseline
+	}
+	var buf strings.Builder
+	regressed, err := compareBench(&buf, base, cur, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("want regression verdict for +30% ns/op")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"steady", "ok",
+		"REGRESSED",
+		"improved",
+		"new (no baseline)",
+		"removed (baseline only)",
+		"FAIL",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareBenchClean asserts the quiet path: no movement, no
+// regression, no FAIL line.
+func TestCompareBenchClean(t *testing.T) {
+	base := writeBaseline(t, `[
+  {"name":"steady","iterations":1,"ns_per_op":1000,"allocs_per_op":1,"bytes_per_op":1}
+]`)
+	var buf strings.Builder
+	regressed, err := compareBench(&buf, base, []BenchResult{{Name: "steady", NsPerOp: 1000}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("no movement must not regress:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "FAIL") {
+		t.Fatalf("clean comparison printed FAIL:\n%s", buf.String())
+	}
+}
+
+// TestCompareBenchBadBaseline covers the error paths: missing file and
+// non-bench JSON.
+func TestCompareBenchBadBaseline(t *testing.T) {
+	var buf strings.Builder
+	if _, err := compareBench(&buf, filepath.Join(t.TempDir(), "absent.json"), nil, 20); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+	bad := writeBaseline(t, `{"not":"a bench array"}`)
+	if _, err := compareBench(&buf, bad, nil, 20); err == nil {
+		t.Fatal("malformed baseline must error")
+	}
+}

@@ -18,7 +18,10 @@
 //	drowsyctl scenario run -name F # run a family, energy/SLA/latency JSON
 //	drowsyctl scenario sweep -family F -param P -values a,b,c
 //	                               # Figure-3-style sensitivity sweep at fleet scale
-//	drowsyctl bench [-quick]       # benchmark results as JSON (BENCH_*.json)
+//	drowsyctl bench [-quick] [-compare old.json]
+//	                               # benchmark results as JSON (BENCH_*.json);
+//	                               # -compare prints a delta table vs a prior
+//	                               # run and exits non-zero on >20% regression
 package main
 
 import (

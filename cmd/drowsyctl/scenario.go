@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"drowsydc/internal/obs"
 	"drowsydc/internal/scenario"
 )
 
@@ -43,8 +44,11 @@ func scenarioUsage() {
   params                   show the sweepable parameters
   run -name F [-hosts N] [-horizon-days N] [-workers N] [-shard-workers N]
       [-private-cache] [-resolution hourly|event] [-table]
+      [-timeseries out.ndjson] [-timeseries-timings]
                            run family F, per-policy energy/SLA/latency JSON on
-                           stdout (-table for an aligned text table)
+                           stdout (-table for an aligned text table);
+                           -timeseries additionally writes the flight
+                           recorder's per-hour ndjson series to a file
   sweep -family F -param P -values a,b,c [-hosts N] [-horizon-days N]
         [-workers N] [-shard-workers N] [-private-cache]
         [-resolution hourly|event] [-table]
@@ -108,6 +112,10 @@ func runScenarioFamily(args []string) {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
 	name := fs.String("name", "", "family to run (see `drowsyctl scenario list`)")
 	table := fs.Bool("table", false, "emit an aligned text table instead of JSON")
+	timeseries := fs.String("timeseries", "",
+		"write the flight recorder's per-hour ndjson series (one line per policy × hour) to this file")
+	timings := fs.Bool("timeseries-timings", false,
+		"include wall-clock executor phase timings in -timeseries lines (non-deterministic columns)")
 	hosts, horizonDays, workers, shardWorkers, private, resolution := scaleFlags(fs)
 	_ = fs.Parse(args)
 	if *name == "" {
@@ -115,14 +123,43 @@ func runScenarioFamily(args []string) {
 		scenarioUsage()
 		os.Exit(2)
 	}
+	if *timings && *timeseries == "" {
+		fmt.Fprintln(os.Stderr, "drowsyctl scenario run: -timeseries-timings requires -timeseries")
+		os.Exit(2)
+	}
 	validateShardWorkers("run", *shardWorkers)
+	opt := scenario.Options{Workers: *workers, PrivateCaches: *private}
+	var fr *obs.FlightRecorder
+	if *timeseries != "" {
+		fr = &obs.FlightRecorder{Timings: *timings}
+		opt.Probe = fr.ProbeFor
+		opt.ProbeTimings = *timings
+	}
 	if err := writeScenarioRun(os.Stdout, *name, *table,
 		scenario.Params{Hosts: *hosts, HorizonHours: *horizonDays * 24,
-			Resolution: *resolution, ShardWorkers: *shardWorkers},
-		scenario.Options{Workers: *workers, PrivateCaches: *private}); err != nil {
+			Resolution: *resolution, ShardWorkers: *shardWorkers}, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
 		os.Exit(1)
 	}
+	if fr != nil {
+		if err := writeTimeseries(*timeseries, fr); err != nil {
+			fmt.Fprintln(os.Stderr, "drowsyctl scenario run:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTimeseries dumps the flight recorder's ndjson to path.
+func writeTimeseries(path string, fr *obs.FlightRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeScenarioRun runs a family and writes the report (JSON or table)

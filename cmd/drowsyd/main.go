@@ -7,16 +7,25 @@
 //
 //	drowsyd [-addr 127.0.0.1:7077] [-workers N] [-drain-timeout 30s]
 //	        [-max-hosts N] [-max-horizon-days N] [-max-grid-values N]
+//	        [-log-format text|json] [-debug-addr 127.0.0.1:7078]
 //
 // Endpoints:
 //
 //	POST /v1/run      {"family":"always-on-mix","hosts":6,"horizon_days":7}
+//	                  (?timeseries=1 or "timeseries":true for per-hour
+//	                  flight-recorder ndjson ahead of the report)
 //	POST /v1/sweep    {"family":"diurnal-office","param":"grace","values":[0,30,120]}
 //	                  (?stream=1 or "stream":true for chunked progress events)
 //	GET  /v1/families scenario-family catalog
 //	GET  /v1/params   sweepable-parameter catalog
 //	GET  /v1/stats    cache/pool counters
+//	GET  /metrics     Prometheus text exposition
 //	GET  /healthz     liveness probe
+//
+// Every request (except /healthz) is access-logged to stderr in the
+// -log-format shape. With -debug-addr set, net/http/pprof is served on
+// that separate listener — keep it loopback-only; profiles expose
+// internals the serving address should not.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight simulation jobs (up to -drain-timeout) and exits.
@@ -28,6 +37,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,9 +54,14 @@ func main() {
 	maxHosts := fs.Int("max-hosts", 0, "per-request hosts cap (0 = default 4096)")
 	maxHorizonDays := fs.Int("max-horizon-days", 0, "per-request horizon cap in days (0 = default 400)")
 	maxGridValues := fs.Int("max-grid-values", 0, "per-request sweep-grid cap (0 = default 32)")
+	logFormat := fs.String("log-format", "text", "access-log line format: text or json")
+	debugAddr := fs.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 	_ = fs.Parse(os.Args[1:])
 
 	logger := log.New(os.Stderr, "drowsyd: ", log.LstdFlags)
+	if *logFormat != "text" && *logFormat != "json" {
+		logger.Fatalf("-log-format must be text or json (got %q)", *logFormat)
+	}
 	srv := server.New(server.Config{
 		Workers: *workers,
 		Limits: server.Limits{
@@ -54,8 +69,27 @@ func main() {
 			MaxHorizonDays: *maxHorizonDays,
 			MaxGridValues:  *maxGridValues,
 		},
+		AccessLog: os.Stderr,
+		LogFormat: *logFormat,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener so the serving address
+		// never exposes profiling endpoints.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

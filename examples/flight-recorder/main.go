@@ -1,0 +1,96 @@
+// Flight-recorder: the per-hour observability probe end to end. The
+// program runs the always-on-mix family twice — once bare, once with an
+// obs.FlightRecorder attached — and demonstrates the probe's two core
+// promises: the reports are bit-identical (observe-only by
+// construction), and the recorded samples are a deterministic per-hour
+// decomposition of the run. It then renders the first day of the
+// drowsy cell hour by hour (census, energy split, transitions), draws
+// a one-week suspended-hosts sparkline per policy, and cross-foots the
+// samples against the report totals. The ndjson each cell would stream
+// (`drowsyctl scenario run -timeseries`, `POST /v1/run?timeseries=1`)
+// is shown for one hour.
+//
+//	go run ./examples/flight-recorder
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"reflect"
+	"strings"
+
+	"drowsydc/internal/obs"
+	"drowsydc/internal/scenario"
+)
+
+func main() {
+	params := scenario.Params{Hosts: 6, HorizonHours: 7 * 24}
+
+	bare, err := scenario.RunFamily("always-on-mix", params, scenario.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr := &obs.FlightRecorder{}
+	probed, err := scenario.RunFamily("always-on-mix", params, scenario.Options{Probe: fr.ProbeFor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probe-on report bit-identical to probe-off: %v\n\n",
+		reflect.DeepEqual(bare, probed))
+
+	// The drowsy cell's first day, hour by hour. Sample counters are
+	// per-hour deltas; the census is the state at each hour's end.
+	recs := fr.Recorders()
+	var drowsy *obs.Recorder
+	for _, r := range recs {
+		if r.Policy == "drowsy" {
+			drowsy = r
+		}
+	}
+	fmt.Printf("drowsy cell, day 1 of %d recorded hours:\n", drowsy.Len())
+	fmt.Printf("%4s %6s %5s %4s %10s %10s %9s %8s %7s\n",
+		"hour", "awake", "susp", "off", "active J", "susp J", "transit J", "suspends", "resumes")
+	for _, s := range drowsy.Samples()[:24] {
+		fmt.Printf("%4d %6d %5d %4d %10.0f %10.0f %9.0f %8d %7d\n",
+			s.Index, s.AwakeHosts, s.SuspendedHosts, s.OffHosts,
+			s.ActiveJoules, s.SuspendedJoules, s.TransitionJoules, s.Suspends, s.Resumes)
+	}
+
+	// A week of suspended-host counts per policy, as a sparkline: the
+	// diurnal structure (and its absence under always-on) at a glance.
+	fmt.Println("\nsuspended hosts per hour, full week:")
+	marks := []rune(" ▁▂▃▄▅▆▇█")
+	hosts := probed.Hosts
+	for _, r := range recs {
+		var sb strings.Builder
+		for _, s := range r.Samples() {
+			sb.WriteRune(marks[s.SuspendedHosts*(len(marks)-1)/hosts])
+		}
+		fmt.Printf("%12s |%s|\n", r.Policy, sb.String())
+	}
+
+	// Cross-foot: per-hour deltas telescope back to the report totals.
+	fmt.Println("\nsamples cross-footed against the report:")
+	for i, r := range recs {
+		var suspends int
+		var joules float64
+		for _, s := range r.Samples() {
+			suspends += s.Suspends
+			joules += s.ActiveJoules + s.TransitionJoules + s.SuspendedJoules +
+				s.OffJoules + s.WakePathJoules
+		}
+		pr := probed.Policies[i]
+		fmt.Printf("%12s  suspends %4d (report %4d)  energy %8.3f kWh (report %8.3f)\n",
+			r.Policy, suspends, pr.Suspends, joules/3.6e6, pr.EnergyKWh)
+	}
+
+	// One line of the ndjson stream the CLI/daemon surfaces emit.
+	var buf bytes.Buffer
+	if err := drowsy.WriteNDJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\none ndjson sample line (of %d):\n%s", drowsy.Len(),
+		bytes.SplitN(buf.Bytes(), []byte("\n"), 2)[0])
+	fmt.Println()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"drowsydc/internal/simtime"
 )
@@ -100,18 +101,46 @@ type columnMemo struct {
 		si, aStar, out float64
 		idle, ok       bool
 	}
+	// fast counts cell updates that avoided the exponential (memo hits
+	// and saturation short-circuits); exact counts math.Exp fallbacks.
+	// Accumulated locally and flushed to the package counters once per
+	// column pass, so the hot path carries no atomics.
+	fast, exact uint64
 }
 
 // update memoizes updateCell across a column pass.
 func (cm *columnMemo) update(k int, si, aStar float64, idle bool) float64 {
 	e := &cm.entries[k]
 	if e.ok && e.si == si && e.aStar == aStar && e.idle == idle {
+		cm.fast++
 		return e.out
 	}
-	out := updateCell(si, aStar, idle)
+	out, sat := updateCellPath(si, aStar, idle)
+	if sat {
+		cm.fast++
+	} else {
+		cm.exact++
+	}
 	e.si, e.aStar, e.out, e.idle, e.ok = si, aStar, out, idle, true
 	return out
 }
+
+// Telemetry: cumulative ObserveColumn cell-update path counts across
+// the process. Written once per column pass, read by the /metrics
+// exporter; they never influence simulation output.
+var (
+	colFastPath      atomic.Uint64
+	colExactFallback atomic.Uint64
+)
+
+// ObserveFastPathCount returns how many batched cell updates skipped
+// the eq. 5 exponential (cross-model memo hits plus saturation
+// short-circuits) since process start.
+func ObserveFastPathCount() uint64 { return colFastPath.Load() }
+
+// ObserveExactCount returns how many batched cell updates fell back to
+// the exact math.Exp computation since process start.
+func ObserveExactCount() uint64 { return colExactFallback.Load() }
 
 // ObserveColumn applies one hourly observation to a column of models:
 // models[i] observes acts[i] under the shared calendar stamp st. It is
@@ -132,6 +161,8 @@ func ObserveColumn(st simtime.Stamp, models []*Model, acts []float64) {
 	for i, m := range models {
 		m.observe(st, acts[i], &memo)
 	}
+	colFastPath.Add(memo.fast)
+	colExactFallback.Add(memo.exact)
 }
 
 // updateCell computes one cell's post-observation score: the eq. 5
@@ -139,13 +170,22 @@ func ObserveColumn(st simtime.Stamp, models []*Model, acts []float64) {
 // cell's current score; the result carries the exact bits the plain
 // (always-exp) computation would store.
 func updateCell(si, aStar float64, idle bool) float64 {
+	out, _ := updateCellPath(si, aStar, idle)
+	return out
+}
+
+// updateCellPath is updateCell plus which path produced the result:
+// sat is true when the saturation short-circuit fired (no exponential
+// evaluated). The column pass counts paths for telemetry; the bits
+// stored are identical either way.
+func updateCellPath(si, aStar float64, idle bool) (out float64, sat bool) {
 	if !satDisabled {
 		if t := aStar * uSatLo[satBucket(math.Abs(si))]; t >= satMinStep {
 			if idle && si >= 1-t {
-				return 1
+				return 1, true
 			}
 			if !idle && si <= t-1 {
-				return -1
+				return -1, true
 			}
 		}
 	}
@@ -155,5 +195,5 @@ func updateCell(si, aStar float64, idle bool) float64 {
 	} else {
 		si -= v
 	}
-	return clamp(si, -1, 1)
+	return clamp(si, -1, 1), false
 }

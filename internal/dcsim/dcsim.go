@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"drowsydc/internal/cluster"
 	"drowsydc/internal/core"
@@ -162,6 +163,16 @@ type Config struct {
 	// domains come from cluster.Host.Subnet. nil keeps delivery perfect
 	// and the run bit-identical to the pre-network simulator.
 	Network *netsim.Config
+	// Probe, when non-nil, receives one HourSample per simulated hour —
+	// the flight-recorder hook (see probe.go). Observe-only: attaching a
+	// probe never changes a run's Result (bit-identical with or without),
+	// and a nil probe costs a single branch per hour.
+	Probe Probe
+	// ProbeTimings adds wall-clock executor phase timings to each
+	// HourSample. Off by default because timings are the one
+	// non-deterministic sample field; everything else in a sample is
+	// identical across runs of the same configuration.
+	ProbeTimings bool
 	// StartHour is the calendar hour at which the run begins.
 	StartHour simtime.Hour
 	// Hours is the length of the run.
@@ -350,6 +361,12 @@ type Runner struct {
 	// Reused per-round scratch of the serial phases.
 	assignBuf []int
 	snapBuf   map[int]int
+
+	// Flight-recorder state (see probe.go): the cumulative ledger the
+	// per-hour deltas subtract against, and the last completed hour's
+	// wall-clock phase timings (pre, host, observe, reduce).
+	probePrev  probeTotals
+	phaseNanos [4]int64
 }
 
 // NewRunner builds a runner for a cluster whose VMs are already
@@ -648,6 +665,8 @@ func (r *Runner) Run() *Result {
 		}
 	}
 
+	timed := r.cfg.Probe != nil && r.cfg.ProbeTimings
+	var tPhase time.Time
 	for i := 0; i < r.cfg.Hours; i++ {
 		hr := r.cfg.StartHour + simtime.Hour(i)
 		t0 := hr.Start()
@@ -658,6 +677,15 @@ func (r *Runner) Run() *Result {
 		// single-engine walk exactly.
 		for _, sh := range r.shards {
 			sh.engine.RunUntil(t0)
+		}
+		// Flight recorder: the previous hour is complete (its boundary
+		// events just fired), so sample it before this hour mutates
+		// anything. Observe-only — see probe.go.
+		if r.cfg.Probe != nil && i > 0 {
+			r.probeHour(i-1, hr-1)
+		}
+		if timed {
+			tPhase = time.Now()
 		}
 
 		// VM creations scheduled for this hour (Nova path).
@@ -703,6 +731,10 @@ func (r *Runner) Run() *Result {
 		if !r.cfg.DisableColocation {
 			r.coloc.RecordHour(r.assignmentsAll())
 		}
+		if timed {
+			r.phaseNanos[0] = int64(time.Since(tPhase))
+			tPhase = time.Now()
+		}
 
 		// Parallel host phase: each shard plays the hour on its hosts in
 		// global order. Shards share no mutable state here — wakes are
@@ -716,6 +748,10 @@ func (r *Runner) Run() *Result {
 				r.playHour(rt, hr, t0)
 			}
 		})
+		if timed {
+			r.phaseNanos[1] = int64(time.Since(tPhase))
+			tPhase = time.Now()
+		}
 
 		// Parallel observation phase: feed the idleness models from the
 		// activity columns, one batched pass per shard (host-major, so a
@@ -736,6 +772,10 @@ func (r *Runner) Run() *Result {
 			}
 			core.ObserveColumn(st, sh.obsModels, sh.obsActs)
 		})
+		if timed {
+			r.phaseNanos[2] = int64(time.Since(tPhase))
+			tPhase = time.Now()
+		}
 		// Serial reduction: the models advanced an epoch, retiring every
 		// memoized IP; then the hourly recorders and heartbeats run in
 		// deterministic order.
@@ -747,11 +787,18 @@ func (r *Runner) Run() *Result {
 			sh.wm.Heartbeat()
 			sh.mirror.Heartbeat()
 		}
+		if timed {
+			r.phaseNanos[3] = int64(time.Since(tPhase))
+		}
 	}
 
 	end := (r.cfg.StartHour + simtime.Hour(r.cfg.Hours)).Start()
 	for _, sh := range r.shards {
 		sh.engine.RunUntil(end)
+	}
+	// Flight recorder: the final hour's boundary events just fired.
+	if r.cfg.Probe != nil && r.cfg.Hours > 0 {
+		r.probeHour(r.cfg.Hours-1, r.cfg.StartHour+simtime.Hour(r.cfg.Hours-1))
 	}
 	for _, rt := range r.rts {
 		rt.machine.Finish(float64(end))

@@ -356,6 +356,9 @@ func (l *LatencyStats) Merge(o *LatencyStats) {
 // Count returns the number of recorded requests.
 func (l *LatencyStats) Count() int64 { return l.total }
 
+// WithinSLA returns how many recorded samples met the SLA target.
+func (l *LatencyStats) WithinSLA() int64 { return l.withinSLA }
+
 // SLAFraction returns the fraction of requests meeting the SLA target.
 func (l *LatencyStats) SLAFraction() float64 {
 	if l.total == 0 {

@@ -1,0 +1,22 @@
+// Package obs is the observability layer: a flight recorder for the
+// simulation runtime and a dependency-free telemetry registry for the
+// serving path.
+//
+// The flight recorder (Recorder, FlightRecorder) implements the
+// dcsim.Probe hook: it captures one columnar row per simulated hour and
+// policy cell — host state census, energy split by power state,
+// suspend/resume and wake counters, event-mode and pair-search effort —
+// and serializes the series as ndjson. Everything it records is
+// deterministic: two runs of the same spec emit byte-identical ndjson
+// at any shard-worker count, because the runtime merges probe inputs in
+// fixed shard order and the recorder formats floats with the shortest
+// round-trip representation. The one exception, wall-clock executor
+// phase timings, is opt-in (Timings) and documented non-deterministic.
+//
+// The telemetry registry (Registry, Counter, Gauge funcs, Histogram) is
+// a minimal Prometheus-compatible metrics surface: counters and
+// histograms with atomic hot paths, gauges and counters read through
+// callbacks at scrape time, exported in the Prometheus text exposition
+// format. It exists so drowsyd can expose /metrics without pulling a
+// client library into a repo that deliberately has no dependencies.
+package obs

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+
+	"drowsydc/internal/dcsim"
+	"drowsydc/internal/simtime"
+)
+
+// Recorder is a flight recorder for one policy cell: it implements
+// dcsim.Probe by appending each HourSample to columnar series, and
+// serializes them as ndjson (one JSON object per simulated hour).
+// A Recorder is driven by a single run and needs no locking; wrap
+// concurrent cells in a FlightRecorder.
+type Recorder struct {
+	// Policy labels every emitted line (the cell's policy name).
+	Policy string
+	// Timings includes the wall-clock phase-timing columns in the
+	// output. Off by default: timings are the one non-deterministic
+	// part of a sample, and the default output is byte-reproducible.
+	Timings bool
+
+	// Columnar series, one slot per simulated hour.
+	hours     []int64
+	awake     []int32
+	suspended []int32
+	off       []int32
+
+	activeJ []float64
+	transJ  []float64
+	suspJ   []float64
+	offJ    []float64
+	wakeJ   []float64
+
+	suspends []int32
+	resumes  []int32
+
+	scheduled []uint64
+	packet    []uint64
+	attempts  []uint64
+	retries   []uint64
+	lost      []uint64
+	relayed   []uint64
+
+	requests []int64
+	slaViol  []int64
+
+	eventHours []int32
+	pairEvals  []uint64
+
+	preNs []int64
+	hstNs []int64
+	obsNs []int64
+	redNs []int64
+}
+
+// ObserveHour implements dcsim.Probe.
+func (r *Recorder) ObserveHour(s dcsim.HourSample) {
+	r.hours = append(r.hours, int64(s.Hour))
+	r.awake = append(r.awake, int32(s.AwakeHosts))
+	r.suspended = append(r.suspended, int32(s.SuspendedHosts))
+	r.off = append(r.off, int32(s.OffHosts))
+
+	r.activeJ = append(r.activeJ, s.ActiveJoules)
+	r.transJ = append(r.transJ, s.TransitionJoules)
+	r.suspJ = append(r.suspJ, s.SuspendedJoules)
+	r.offJ = append(r.offJ, s.OffJoules)
+	r.wakeJ = append(r.wakeJ, s.WakePathJoules)
+
+	r.suspends = append(r.suspends, int32(s.Suspends))
+	r.resumes = append(r.resumes, int32(s.Resumes))
+
+	r.scheduled = append(r.scheduled, s.ScheduledWakes)
+	r.packet = append(r.packet, s.PacketWakes)
+	r.attempts = append(r.attempts, s.WakeAttempts)
+	r.retries = append(r.retries, s.WakeRetries)
+	r.lost = append(r.lost, s.LostWakes)
+	r.relayed = append(r.relayed, s.RelayedWakes)
+
+	r.requests = append(r.requests, s.Requests)
+	r.slaViol = append(r.slaViol, s.SLAViolations)
+
+	r.eventHours = append(r.eventHours, int32(s.EventHours))
+	r.pairEvals = append(r.pairEvals, s.PairEvaluations)
+
+	if r.Timings {
+		r.preNs = append(r.preNs, s.PrePhaseNanos)
+		r.hstNs = append(r.hstNs, s.HostPhaseNanos)
+		r.obsNs = append(r.obsNs, s.ObservePhaseNanos)
+		r.redNs = append(r.redNs, s.ReducePhaseNanos)
+	}
+}
+
+// Len returns the number of recorded hours.
+func (r *Recorder) Len() int { return len(r.hours) }
+
+// Samples reassembles the columnar series into per-hour samples, for
+// programmatic consumers (tests, plotting examples). Timing columns are
+// included only when recorded.
+func (r *Recorder) Samples() []dcsim.HourSample {
+	out := make([]dcsim.HourSample, len(r.hours))
+	for i := range r.hours {
+		s := dcsim.HourSample{
+			Hour:  simtime.Hour(r.hours[i]),
+			Index: i,
+
+			AwakeHosts:     int(r.awake[i]),
+			SuspendedHosts: int(r.suspended[i]),
+			OffHosts:       int(r.off[i]),
+
+			ActiveJoules:     r.activeJ[i],
+			TransitionJoules: r.transJ[i],
+			SuspendedJoules:  r.suspJ[i],
+			OffJoules:        r.offJ[i],
+			WakePathJoules:   r.wakeJ[i],
+
+			Suspends: int(r.suspends[i]),
+			Resumes:  int(r.resumes[i]),
+
+			ScheduledWakes: r.scheduled[i],
+			PacketWakes:    r.packet[i],
+			WakeAttempts:   r.attempts[i],
+			WakeRetries:    r.retries[i],
+			LostWakes:      r.lost[i],
+			RelayedWakes:   r.relayed[i],
+
+			Requests:      r.requests[i],
+			SLAViolations: r.slaViol[i],
+
+			EventHours:      int(r.eventHours[i]),
+			PairEvaluations: r.pairEvals[i],
+		}
+		if r.Timings {
+			s.PrePhaseNanos = r.preNs[i]
+			s.HostPhaseNanos = r.hstNs[i]
+			s.ObservePhaseNanos = r.obsNs[i]
+			s.ReducePhaseNanos = r.redNs[i]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// WriteNDJSON serializes the recorded series, one JSON object per hour.
+// The encoding is hand-built so its bytes are a function of the sample
+// values alone: integers in decimal, floats in Go's shortest
+// round-trip 'g' form — byte-identical across runs recording identical
+// samples.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for i := range r.hours {
+		buf = buf[:0]
+		buf = append(buf, `{"policy":`...)
+		buf = strconv.AppendQuote(buf, r.Policy)
+		buf = appendInt(buf, ",\"hour\":", r.hours[i])
+		buf = appendInt(buf, ",\"index\":", int64(i))
+		buf = appendInt(buf, ",\"awake_hosts\":", int64(r.awake[i]))
+		buf = appendInt(buf, ",\"suspended_hosts\":", int64(r.suspended[i]))
+		buf = appendInt(buf, ",\"off_hosts\":", int64(r.off[i]))
+		buf = appendFloat(buf, ",\"active_joules\":", r.activeJ[i])
+		buf = appendFloat(buf, ",\"transition_joules\":", r.transJ[i])
+		buf = appendFloat(buf, ",\"suspended_joules\":", r.suspJ[i])
+		buf = appendFloat(buf, ",\"off_joules\":", r.offJ[i])
+		buf = appendFloat(buf, ",\"wake_path_joules\":", r.wakeJ[i])
+		buf = appendInt(buf, ",\"suspends\":", int64(r.suspends[i]))
+		buf = appendInt(buf, ",\"resumes\":", int64(r.resumes[i]))
+		buf = appendUint(buf, ",\"scheduled_wakes\":", r.scheduled[i])
+		buf = appendUint(buf, ",\"packet_wakes\":", r.packet[i])
+		buf = appendUint(buf, ",\"wake_attempts\":", r.attempts[i])
+		buf = appendUint(buf, ",\"wake_retries\":", r.retries[i])
+		buf = appendUint(buf, ",\"lost_wakes\":", r.lost[i])
+		buf = appendUint(buf, ",\"relayed_wakes\":", r.relayed[i])
+		buf = appendInt(buf, ",\"requests\":", r.requests[i])
+		buf = appendInt(buf, ",\"sla_violations\":", r.slaViol[i])
+		buf = appendInt(buf, ",\"event_hours\":", int64(r.eventHours[i]))
+		buf = appendUint(buf, ",\"pair_evaluations\":", r.pairEvals[i])
+		if r.Timings {
+			buf = appendInt(buf, ",\"pre_phase_ns\":", r.preNs[i])
+			buf = appendInt(buf, ",\"host_phase_ns\":", r.hstNs[i])
+			buf = appendInt(buf, ",\"observe_phase_ns\":", r.obsNs[i])
+			buf = appendInt(buf, ",\"reduce_phase_ns\":", r.redNs[i])
+		}
+		buf = append(buf, "}\n"...)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func appendInt(b []byte, key string, v int64) []byte {
+	b = append(b, key...)
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendUint(b []byte, key string, v uint64) []byte {
+	b = append(b, key...)
+	return strconv.AppendUint(b, v, 10)
+}
+
+func appendFloat(b []byte, key string, v float64) []byte {
+	b = append(b, key...)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// FlightRecorder collects the per-cell Recorders of one scenario run.
+// ProbeFor hands out one Recorder per policy cell; cells may request
+// theirs concurrently, but each returned Recorder is then driven by its
+// own cell only. WriteNDJSON concatenates the cells' series in cell
+// order, so the combined stream is as deterministic as its parts.
+type FlightRecorder struct {
+	// Timings propagates to every Recorder (include wall-clock phase
+	// timing columns; non-deterministic).
+	Timings bool
+
+	mu   sync.Mutex
+	recs []*Recorder
+}
+
+// ProbeFor returns the probe for the given policy cell, creating it on
+// first use. Safe for concurrent use; the method signature matches
+// scenario.Options.Probe.
+func (f *FlightRecorder) ProbeFor(cell int, policy string) dcsim.Probe {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for cell >= len(f.recs) {
+		f.recs = append(f.recs, nil)
+	}
+	if f.recs[cell] == nil {
+		f.recs[cell] = &Recorder{Policy: policy, Timings: f.Timings}
+	}
+	return f.recs[cell]
+}
+
+// Recorders returns the per-cell recorders in cell order. Slots for
+// cells that never requested a probe are nil.
+func (f *FlightRecorder) Recorders() []*Recorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Recorder(nil), f.recs...)
+}
+
+// WriteNDJSON writes every cell's series in cell order.
+func (f *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	for _, r := range f.Recorders() {
+		if r == nil {
+			continue
+		}
+		if err := r.WriteNDJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"drowsydc/internal/dcsim"
+	"drowsydc/internal/simtime"
+)
+
+// sample builds a distinctive HourSample for serialization tests.
+func sample(i int) dcsim.HourSample {
+	return dcsim.HourSample{
+		Hour:  simtime.Hour(i),
+		Index: i,
+
+		AwakeHosts:     3,
+		SuspendedHosts: 2,
+		OffHosts:       1,
+
+		ActiveJoules:     1.5e6 + float64(i),
+		TransitionJoules: 250.5,
+		SuspendedJoules:  1e3,
+		OffJoules:        0,
+		WakePathJoules:   0.125,
+
+		Suspends: 2,
+		Resumes:  1,
+
+		ScheduledWakes: 4,
+		PacketWakes:    1,
+		WakeAttempts:   5,
+		WakeRetries:    1,
+		LostWakes:      0,
+		RelayedWakes:   1,
+
+		Requests:      100,
+		SLAViolations: 3,
+
+		EventHours:      6,
+		PairEvaluations: 42,
+
+		PrePhaseNanos:     10,
+		HostPhaseNanos:    20,
+		ObservePhaseNanos: 30,
+		ReducePhaseNanos:  40,
+	}
+}
+
+// TestRecorderNDJSON pins the line encoding: field order, integer and
+// shortest-round-trip float forms, quoting, one line per hour.
+func TestRecorderNDJSON(t *testing.T) {
+	r := &Recorder{Policy: "drowsy"}
+	r.ObserveHour(sample(0))
+	var sb strings.Builder
+	if err := r.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"policy":"drowsy","hour":0,"index":0,"awake_hosts":3,"suspended_hosts":2,` +
+		`"off_hosts":1,"active_joules":1.5e+06,"transition_joules":250.5,` +
+		`"suspended_joules":1000,"off_joules":0,"wake_path_joules":0.125,` +
+		`"suspends":2,"resumes":1,"scheduled_wakes":4,"packet_wakes":1,` +
+		`"wake_attempts":5,"wake_retries":1,"lost_wakes":0,"relayed_wakes":1,` +
+		`"requests":100,"sla_violations":3,"event_hours":6,"pair_evaluations":42}` + "\n"
+	if sb.String() != want {
+		t.Fatalf("ndjson line drifted\n got: %s\nwant: %s", sb.String(), want)
+	}
+}
+
+// TestRecorderTimings asserts the timing columns appear exactly when
+// asked for — they are the one non-deterministic field set, so their
+// absence from the default output is part of the determinism contract.
+func TestRecorderTimings(t *testing.T) {
+	for _, timings := range []bool{false, true} {
+		r := &Recorder{Policy: "p", Timings: timings}
+		r.ObserveHour(sample(0))
+		var sb strings.Builder
+		if err := r.WriteNDJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		has := strings.Contains(sb.String(), `"host_phase_ns":20`)
+		if has != timings {
+			t.Fatalf("Timings=%v: timing columns present=%v\n%s", timings, has, sb.String())
+		}
+		s := r.Samples()[0]
+		if (s.HostPhaseNanos == 20) != timings {
+			t.Fatalf("Timings=%v: Samples() timing = %d", timings, s.HostPhaseNanos)
+		}
+	}
+}
+
+// TestRecorderSamplesRoundTrip asserts Samples() reassembles exactly
+// what ObserveHour recorded.
+func TestRecorderSamplesRoundTrip(t *testing.T) {
+	r := &Recorder{Policy: "p", Timings: true}
+	want := []dcsim.HourSample{sample(0), sample(1), sample(2)}
+	for _, s := range want {
+		r.ObserveHour(s)
+	}
+	got := r.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("%d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d round-tripped as %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlightRecorderConcurrentCells exercises ProbeFor from concurrent
+// cells (the scenario runner mints serially, but the signature allows
+// concurrent use) and checks cell-order output with a nil gap.
+func TestFlightRecorderConcurrentCells(t *testing.T) {
+	fr := &FlightRecorder{}
+	var wg sync.WaitGroup
+	for cell := 0; cell < 8; cell++ {
+		if cell == 3 {
+			continue // leave a hole: cells that never probe stay nil
+		}
+		wg.Add(1)
+		go func(cell int) {
+			defer wg.Done()
+			p := fr.ProbeFor(cell, "p")
+			p.ObserveHour(dcsim.HourSample{Index: 0, AwakeHosts: cell})
+		}(cell)
+	}
+	wg.Wait()
+	recs := fr.Recorders()
+	if len(recs) != 8 {
+		t.Fatalf("%d recorder slots, want 8", len(recs))
+	}
+	if recs[3] != nil {
+		t.Fatal("unprobed cell 3 has a recorder")
+	}
+	for cell, r := range recs {
+		if cell == 3 {
+			continue
+		}
+		if r == nil || r.Len() != 1 || r.Samples()[0].AwakeHosts != cell {
+			t.Fatalf("cell %d misrecorded: %+v", cell, r)
+		}
+	}
+	// Repeated ProbeFor must return the same recorder.
+	if fr.ProbeFor(0, "p") != dcsim.Probe(recs[0]) {
+		t.Fatal("ProbeFor minted a second recorder for cell 0")
+	}
+	var sb strings.Builder
+	if err := fr.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 7 {
+		t.Fatalf("%d combined lines, want 7", n)
+	}
+}

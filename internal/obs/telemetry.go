@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter with an atomic hot
+// path. The zero value is usable, but counters are normally minted by
+// Registry.Counter so they export.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram with atomic observation. The
+// bucket bounds are upper bounds in ascending order; an implicit +Inf
+// bucket catches the tail. Exposition follows the Prometheus histogram
+// convention (cumulative _bucket series plus _sum and _count).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative per bucket
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// atomicFloat is a float64 accumulated by compare-and-swap on its bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nb := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// series is one labeled sample stream within a metric family. Exactly
+// one of the value sources is set.
+type series struct {
+	labels    string // rendered label pairs, e.g. `path="/v1/run"`, or ""
+	counter   *Counter
+	counterFn func() uint64
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family is one named metric with HELP/TYPE metadata and its series.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	series []*series
+}
+
+func (f *family) find(labels string) *series {
+	for _, s := range f.series {
+		if s.labels == labels {
+			return s
+		}
+	}
+	return nil
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration is synchronized; the returned
+// Counter/Histogram hot paths are lock-free.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) fam(name, help, typ string) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter registers (or returns the existing) counter series. labels is
+// a rendered Prometheus label list without braces (`event="hit"`), or
+// empty for an unlabeled metric.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "counter")
+	if s := f.find(labels); s != nil {
+		if s.counter == nil {
+			panic(fmt.Sprintf("obs: metric %q{%s} is not a plain counter", name, labels))
+		}
+		return s.counter
+	}
+	c := &Counter{}
+	f.series = append(f.series, &series{labels: labels, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read through fn at
+// scrape time — for counters that already live elsewhere as package
+// atomics.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "counter")
+	if f.find(labels) != nil {
+		panic(fmt.Sprintf("obs: metric %q{%s} registered twice", name, labels))
+	}
+	f.series = append(f.series, &series{labels: labels, counterFn: fn})
+}
+
+// GaugeFunc registers a gauge read through fn at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "gauge")
+	if f.find(labels) != nil {
+		panic(fmt.Sprintf("obs: metric %q{%s} registered twice", name, labels))
+	}
+	f.series = append(f.series, &series{labels: labels, gaugeFn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given ascending upper bucket bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "histogram")
+	if s := f.find(labels); s != nil {
+		if s.hist == nil {
+			panic(fmt.Sprintf("obs: metric %q{%s} is not a histogram", name, labels))
+		}
+		return s.hist
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	f.series = append(f.series, &series{labels: labels, hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name,
+// series sorted by label string, histograms expanded into cumulative
+// _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		f := r.fams[n]
+		// Snapshot the series list so scrape-time rendering happens
+		// outside the registry lock.
+		cp := *f
+		cp.series = append([]*series(nil), f.series...)
+		sort.Slice(cp.series, func(a, b int) bool { return cp.series[a].labels < cp.series[b].labels })
+		fams[i] = &cp
+	}
+	r.mu.Unlock()
+
+	var buf []byte
+	for _, f := range fams {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				buf = appendSample(buf, f.name, "", s.labels, "", float64(s.counter.Value()))
+			case s.counterFn != nil:
+				buf = appendSample(buf, f.name, "", s.labels, "", float64(s.counterFn()))
+			case s.gaugeFn != nil:
+				buf = appendSample(buf, f.name, "", s.labels, "", s.gaugeFn())
+			case s.hist != nil:
+				var cum uint64
+				for i, b := range s.hist.bounds {
+					cum += s.hist.counts[i].Load()
+					le := strconv.FormatFloat(b, 'g', -1, 64)
+					buf = appendSample(buf, f.name, "_bucket", s.labels, le, float64(cum))
+				}
+				cum += s.hist.counts[len(s.hist.bounds)].Load()
+				buf = appendSample(buf, f.name, "_bucket", s.labels, "+Inf", float64(cum))
+				buf = appendSample(buf, f.name, "_sum", s.labels, "", s.hist.sum.Load())
+				buf = appendSample(buf, f.name, "_count", s.labels, "", float64(cum))
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendSample renders one exposition line: name+suffix, the label set
+// (optionally extended with le for histogram buckets), and the value.
+func appendSample(buf []byte, name, suffix, labels, le string, v float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	if labels != "" || le != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		if le != "" {
+			if labels != "" {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `le="`...)
+			buf = append(buf, le...)
+			buf = append(buf, '"')
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	buf = append(buf, '\n')
+	return buf
+}

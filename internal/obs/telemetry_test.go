@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryExposition pins the text exposition format end to end:
+// HELP/TYPE metadata, sorted families and series, counter and gauge
+// samples, and the cumulative histogram expansion.
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_requests_total", `path="/b"`, "Requests.").Add(3)
+	r.Counter("z_requests_total", `path="/a"`, "Requests.").Inc()
+	r.CounterFunc("a_events_total", "", "Events.", func() uint64 { return 7 })
+	r.GaugeFunc("m_depth", "", "Depth.", func() float64 { return 2.5 })
+	h := r.Histogram("m_latency_seconds", "", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05) // first bucket
+	h.Observe(0.5)  // second bucket
+	h.Observe(5)    // +Inf tail
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP a_events_total Events.
+# TYPE a_events_total counter
+a_events_total 7
+# HELP m_depth Depth.
+# TYPE m_depth gauge
+m_depth 2.5
+# HELP m_latency_seconds Latency.
+# TYPE m_latency_seconds histogram
+m_latency_seconds_bucket{le="0.1"} 1
+m_latency_seconds_bucket{le="1"} 2
+m_latency_seconds_bucket{le="+Inf"} 3
+m_latency_seconds_sum 5.55
+m_latency_seconds_count 3
+# HELP z_requests_total Requests.
+# TYPE z_requests_total counter
+z_requests_total{path="/a"} 1
+z_requests_total{path="/b"} 3
+`
+	if got != want {
+		t.Fatalf("exposition drifted\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryIdempotentMint asserts the on-demand minting contract the
+// HTTP middleware relies on: asking for the same (name, labels) again
+// returns the same counter/histogram, not a fresh series.
+func TestRegistryIdempotentMint(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits_total", `k="v"`, "h")
+	c1.Add(5)
+	c2 := r.Counter("hits_total", `k="v"`, "h")
+	if c1 != c2 {
+		t.Fatal("same (name, labels) minted a second counter")
+	}
+	if c2.Value() != 5 {
+		t.Fatalf("remint lost the count: %d", c2.Value())
+	}
+	h1 := r.Histogram("lat", "", "h", []float64{1})
+	h2 := r.Histogram("lat", "", "h", []float64{1})
+	if h1 != h2 {
+		t.Fatal("same histogram minted twice")
+	}
+}
+
+// TestRegistryMisusePanics pins the registration sanity checks:
+// duplicate func series, type clashes and non-ascending bounds are
+// programmer errors, caught loudly at registration.
+func TestRegistryMisusePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.CounterFunc("cf", "", "h", func() uint64 { return 0 })
+	mustPanic("duplicate CounterFunc", func() {
+		r.CounterFunc("cf", "", "h", func() uint64 { return 0 })
+	})
+	mustPanic("type clash", func() { r.GaugeFunc("cf", "", "h", func() float64 { return 0 }) })
+	mustPanic("bad bounds", func() { r.Histogram("hb", "", "h", []float64{2, 1}) })
+}
+
+// TestTelemetryConcurrency hammers the hot paths while scraping — the
+// race detector's view of the lock-free counter/histogram contract.
+func TestTelemetryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", "h")
+	h := r.Histogram("h_seconds", "", "h", []float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i%2) * 0.75)
+				// Minting an existing series concurrently must be safe too.
+				r.Counter("c_total", "", "h")
+			}
+		}()
+	}
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		sb.Reset()
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", h.Count())
+	}
+	if got := h.sum.Load(); got != 2000*0.75 {
+		t.Fatalf("histogram sum = %v, want %v", got, 2000*0.75)
+	}
+}

@@ -146,18 +146,24 @@ func (p Profile) Power(s State, utilization float64) float64 {
 	}
 }
 
+// NumStates is the count of distinct power states, for per-state
+// accounting arrays indexed by State.
+const NumStates = 5
+
 // Machine tracks a host's power state over simulated time and integrates
 // its energy. All times are in seconds of simulated time.
 type Machine struct {
-	profile  Profile
-	state    State
-	since    float64 // time of last state change or sample
-	util     float64 // current utilization while active
-	joules   float64
-	suspSecs float64 // cumulative seconds in StateSuspended
-	offSecs  float64
-	totalRef float64 // creation time, for fraction computations
-	transits int     // number of suspend transitions (oscillation metric)
+	profile     Profile
+	state       State
+	since       float64 // time of last state change or sample
+	util        float64 // current utilization while active
+	joules      float64
+	stateJoules [NumStates]float64 // joules split by the state they were drawn in
+	suspSecs    float64            // cumulative seconds in StateSuspended
+	offSecs     float64
+	totalRef    float64 // creation time, for fraction computations
+	transits    int     // number of suspend transitions (oscillation metric)
+	resumes     int     // number of resume transitions
 }
 
 // NewMachine creates a machine in StateActive at time now.
@@ -189,8 +195,11 @@ func (m *Machine) Transition(now float64, to State) {
 		panic(fmt.Sprintf("power: illegal transition %v -> %v", m.state, to))
 	}
 	m.accumulate(now)
-	if to == StateSuspending {
+	switch to {
+	case StateSuspending:
 		m.transits++
+	case StateResuming:
+		m.resumes++
 	}
 	m.state = to
 }
@@ -201,7 +210,9 @@ func (m *Machine) accumulate(now float64) {
 	if dt < 0 {
 		panic(fmt.Sprintf("power: time moved backwards (%v -> %v)", m.since, now))
 	}
-	m.joules += m.profile.Power(m.state, m.util) * dt
+	e := m.profile.Power(m.state, m.util) * dt
+	m.joules += e
+	m.stateJoules[m.state] += e
 	switch m.state {
 	case StateSuspended:
 		m.suspSecs += dt
@@ -243,3 +254,46 @@ func (m *Machine) SuspendedFraction() float64 {
 // SuspendCount returns the number of suspend transitions (the
 // oscillation-prevention metric of §IV).
 func (m *Machine) SuspendCount() int { return m.transits }
+
+// ResumeCount returns the number of resume transitions.
+func (m *Machine) ResumeCount() int { return m.resumes }
+
+// Snapshot is a read-only projection of a Machine's cumulative energy
+// and transition ledger at an instant, for observe-only probes.
+type Snapshot struct {
+	// State is the power state at the snapshot instant.
+	State State
+	// Joules is total energy including the pending (not yet accumulated)
+	// span up to the snapshot instant.
+	Joules float64
+	// StateJoules splits Joules by the state the energy was drawn in.
+	StateJoules [NumStates]float64
+	// Suspends and Resumes count transitions into StateSuspending and
+	// StateResuming respectively.
+	Suspends int
+	Resumes  int
+}
+
+// SnapshotAt projects the machine's energy ledger to time now without
+// mutating it: the span since the last accounted instant is integrated
+// into a copy. Instants before the last accounted one (a transition
+// ran past now, e.g. a lossy resume charged beyond an hour boundary)
+// clamp to zero pending energy — the already-accounted ledger is the
+// floor. Because nothing is written, interleaving snapshots with the
+// simulation cannot perturb its float summation order: results with
+// and without snapshots are bit-identical.
+func (m *Machine) SnapshotAt(now float64) Snapshot {
+	s := Snapshot{
+		State:       m.state,
+		Joules:      m.joules,
+		StateJoules: m.stateJoules,
+		Suspends:    m.transits,
+		Resumes:     m.resumes,
+	}
+	if dt := now - m.since; dt > 0 {
+		e := m.profile.Power(m.state, m.util) * dt
+		s.Joules += e
+		s.StateJoules[m.state] += e
+	}
+	return s
+}

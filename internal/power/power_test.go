@@ -185,3 +185,96 @@ func TestFullCycleEndsActive(t *testing.T) {
 		t.Fatal("no energy accumulated")
 	}
 }
+
+// TestSnapshotAtNonMutating is the flight-recorder contract at its
+// root: SnapshotAt projects energy to mid-interval instants without
+// touching the machine — the accumulated totals after Finish must be
+// bit-identical whether or not snapshots were taken along the way.
+func TestSnapshotAtNonMutating(t *testing.T) {
+	run := func(snapshot bool) *Machine {
+		p := DefaultProfile()
+		m := NewMachine(p, 0)
+		m.SetUtilization(0, 0.6)
+		if snapshot {
+			m.SnapshotAt(1800)
+		}
+		m.Transition(3600, StateSuspending)
+		m.Transition(3600+p.SuspendLatency, StateSuspended)
+		if snapshot {
+			m.SnapshotAt(5000)
+			m.SnapshotAt(5000) // repeated reads must be idempotent too
+		}
+		m.Transition(7000, StateResuming)
+		m.Transition(7000+p.ResumeLatency, StateActive)
+		m.Finish(7200)
+		return m
+	}
+	plain, probed := run(false), run(true)
+	if plain.Joules() != probed.Joules() {
+		t.Fatalf("snapshots changed the integral: %v != %v", plain.Joules(), probed.Joules())
+	}
+	if plain.SuspendedSeconds() != probed.SuspendedSeconds() ||
+		plain.SuspendCount() != probed.SuspendCount() ||
+		plain.ResumeCount() != probed.ResumeCount() {
+		t.Fatal("snapshots changed the counters")
+	}
+}
+
+// TestSnapshotAtProjection checks the snapshot's forward projection:
+// energy to the asked-for instant, per-state split summing to the
+// total, and the dt<=0 guard (a snapshot at or before the last
+// accounting instant adds nothing).
+func TestSnapshotAtProjection(t *testing.T) {
+	p := DefaultProfile()
+	m := NewMachine(p, 0)
+	m.SetUtilization(0, 1.0)
+	s := m.SnapshotAt(3600)
+	wantJ := p.PeakWatts * 3600
+	if math.Abs(s.Joules-wantJ) > 1e-9 {
+		t.Fatalf("projected joules = %v, want %v", s.Joules, wantJ)
+	}
+	if s.StateJoules[StateActive] != s.Joules {
+		t.Fatalf("active split %v != total %v", s.StateJoules[StateActive], s.Joules)
+	}
+	if s.State != StateActive || s.Suspends != 0 || s.Resumes != 0 {
+		t.Fatalf("snapshot state %+v", s)
+	}
+	// At the accounting instant itself: nothing to project.
+	if z := m.SnapshotAt(0); z.Joules != 0 {
+		t.Fatalf("zero-dt snapshot projected %v J", z.Joules)
+	}
+	// Past a transition, the split lands in the new state.
+	m.Transition(3600, StateSuspending)
+	s2 := m.SnapshotAt(3600 + 1)
+	if got := s2.StateJoules[StateSuspending]; math.Abs(got-p.IdleWatts) > 1e-9 {
+		t.Fatalf("suspending split = %v, want %v", got, p.IdleWatts)
+	}
+	if s2.Suspends != 1 {
+		t.Fatalf("suspends = %d, want 1", s2.Suspends)
+	}
+}
+
+// TestStateJoulesSumToTotal property-checks the per-state split against
+// the scalar integral across a full cycle.
+func TestStateJoulesSumToTotal(t *testing.T) {
+	p := DefaultProfile()
+	m := NewMachine(p, 0)
+	m.SetUtilization(0, 0.3)
+	m.Transition(1000, StateSuspending)
+	m.Transition(1000+p.SuspendLatency, StateSuspended)
+	m.Transition(4000, StateResuming)
+	m.Transition(4000+p.ResumeLatency, StateActive)
+	m.Finish(5000)
+	s := m.SnapshotAt(5000)
+	var sum float64
+	for _, j := range s.StateJoules {
+		sum += j
+	}
+	if math.Abs(sum-m.Joules()) > 1e-9*m.Joules() {
+		t.Fatalf("state split sums to %v, total is %v", sum, m.Joules())
+	}
+	if s.Resumes != m.ResumeCount() || s.Suspends != m.SuspendCount() {
+		t.Fatalf("snapshot counters %d/%d vs machine %d/%d",
+			s.Suspends, s.Resumes, m.SuspendCount(), m.ResumeCount())
+	}
+}

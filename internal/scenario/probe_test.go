@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"drowsydc/internal/obs"
+)
+
+// The flight-recorder probe is observe-only by contract: attaching it
+// must not change a bit of any report, and the samples it emits must be
+// a deterministic function of the scenario alone. These tests hold both
+// halves of that contract across every registered family — the probe
+// reads runtime ledgers the families exercise differently (hourly vs
+// event resolution, perfect vs lossy wakes, Oasis pair search), so
+// per-family coverage is what makes "observe-only" a theorem rather
+// than a spot check.
+
+// TestProbeBitIdentityAllFamilies runs every registered family twice —
+// probe off, probe on — and requires bit-identical reports
+// (reflect.DeepEqual compares float64s exactly), plus a full sample
+// stream: one recorder per policy cell, one sample per simulated hour.
+func TestProbeBitIdentityAllFamilies(t *testing.T) {
+	for _, f := range Families() {
+		sc := small(f.Name)
+		plain, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		fr := &obs.FlightRecorder{}
+		probed, err := Run(sc, Options{Probe: fr.ProbeFor})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !reflect.DeepEqual(plain, probed) {
+			t.Fatalf("%s: probe-on report differs from probe-off\noff: %+v\non:  %+v",
+				f.Name, plain, probed)
+		}
+		recs := fr.Recorders()
+		if len(recs) != len(plain.Policies) {
+			t.Fatalf("%s: %d recorders for %d policy columns", f.Name, len(recs), len(plain.Policies))
+		}
+		for i, r := range recs {
+			if r == nil {
+				t.Fatalf("%s: cell %d never received its probe", f.Name, i)
+			}
+			if r.Policy != plain.Policies[i].Policy {
+				t.Fatalf("%s: cell %d labeled %q, want %q", f.Name, i, r.Policy, plain.Policies[i].Policy)
+			}
+			if r.Len() != sc.HorizonHours {
+				t.Fatalf("%s/%s: %d samples for %d simulated hours",
+					f.Name, r.Policy, r.Len(), sc.HorizonHours)
+			}
+		}
+	}
+}
+
+// TestProbeNDJSONDeterministicAcrossShardWorkers requires the serialized
+// sample stream to be byte-identical between a serial run and an
+// 8-shard-worker run — the recorder-level statement of the executor's
+// bit-identity contract, covering both the sample values and the
+// hand-built float formatting.
+func TestProbeNDJSONDeterministicAcrossShardWorkers(t *testing.T) {
+	record := func(workers int) []byte {
+		sc := small("vm-churn")
+		sc.Tuning.ShardWorkers = workers
+		fr := &obs.FlightRecorder{}
+		if _, err := Run(sc, Options{Probe: fr.ProbeFor}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fr.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := record(1)
+	sharded := record(8)
+	if !bytes.Equal(serial, sharded) {
+		t.Fatalf("ndjson differs between 1 and 8 shard workers\nserial:  %d bytes\nsharded: %d bytes",
+			len(serial), len(sharded))
+	}
+	if len(serial) == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+// TestProbeSampleInvariants cross-checks the sample stream against the
+// report it rode along with: the census always sums to the fleet, the
+// integer counters telescope exactly to the report's totals, and the
+// energy split sums back to the report's integral (within float
+// tolerance — per-hour deltas re-sum in a different order than the
+// machines' own accumulation).
+func TestProbeSampleInvariants(t *testing.T) {
+	for _, name := range []string{"always-on-mix", "lossy-wan"} {
+		sc := small(name)
+		fr := &obs.FlightRecorder{}
+		rep, err := Run(sc, Options{Probe: fr.ProbeFor})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for cell, r := range fr.Recorders() {
+			pr := rep.Policies[cell]
+			var suspends int64
+			var scheduled, packet, attempts, retries, lost, relayed uint64
+			var requests int64
+			var joules float64
+			for _, s := range r.Samples() {
+				if got := s.AwakeHosts + s.SuspendedHosts + s.OffHosts; got != sc.TotalHosts() {
+					t.Fatalf("%s/%s hour %d: census sums to %d, fleet is %d",
+						name, r.Policy, s.Index, got, sc.TotalHosts())
+				}
+				if s.Requests < 0 || s.SLAViolations < 0 || s.SLAViolations > s.Requests {
+					t.Fatalf("%s/%s hour %d: bad request delta %d/%d",
+						name, r.Policy, s.Index, s.SLAViolations, s.Requests)
+				}
+				suspends += int64(s.Suspends)
+				scheduled += s.ScheduledWakes
+				packet += s.PacketWakes
+				attempts += s.WakeAttempts
+				retries += s.WakeRetries
+				lost += s.LostWakes
+				relayed += s.RelayedWakes
+				requests += s.Requests
+				joules += s.ActiveJoules + s.TransitionJoules + s.SuspendedJoules +
+					s.OffJoules + s.WakePathJoules
+			}
+			if suspends != int64(pr.Suspends) {
+				t.Errorf("%s/%s: sample suspends sum %d, report %d", name, r.Policy, suspends, pr.Suspends)
+			}
+			if scheduled != pr.ScheduledWakes || packet != pr.PacketWakes {
+				t.Errorf("%s/%s: wake sums %d/%d, report %d/%d",
+					name, r.Policy, scheduled, packet, pr.ScheduledWakes, pr.PacketWakes)
+			}
+			if requests != pr.Requests {
+				t.Errorf("%s/%s: sample requests sum %d, report %d", name, r.Policy, requests, pr.Requests)
+			}
+			if attempts != pr.WakeAttempts || retries != pr.WakeRetries ||
+				lost != pr.LostWakes || relayed != pr.RelayedWakes {
+				t.Errorf("%s/%s: lossy sums %d/%d/%d/%d, report %d/%d/%d/%d", name, r.Policy,
+					attempts, retries, lost, relayed,
+					pr.WakeAttempts, pr.WakeRetries, pr.LostWakes, pr.RelayedWakes)
+			}
+			wantJ := pr.EnergyKWh * 3.6e6
+			if rel := math.Abs(joules-wantJ) / wantJ; rel > 1e-9 {
+				t.Errorf("%s/%s: sample energy %.6f J vs report %.6f J (rel %.2e)",
+					name, r.Policy, joules, wantJ, rel)
+			}
+		}
+	}
+}
+
+// BenchmarkProbeOverhead pins the cost of the flight recorder next to a
+// bare run of the same scenario — the zero-overhead claim as a number.
+// The probe adds one fleet snapshot walk per hour; the delta must stay
+// in the noise of the simulation itself.
+func BenchmarkProbeOverhead(b *testing.B) {
+	for _, probed := range []bool{false, true} {
+		name := "probe-off"
+		if probed {
+			name = "probe-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := Options{}
+				if probed {
+					fr := &obs.FlightRecorder{}
+					opt.Probe = fr.ProbeFor
+				}
+				if _, err := Run(small("always-on-mix"), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,17 @@ type Options struct {
 	// goroutines, possibly out of done order; the callback must be
 	// cheap and thread-safe. It observes execution, never alters it.
 	Progress func(done, total int)
+	// Probe, when non-nil, attaches a flight-recorder probe to each
+	// policy cell's simulation: it is called once per cell, serially and
+	// in cell order before execution starts, with the cell index and
+	// policy label, and the returned dcsim.Probe (nil = don't record
+	// this cell) receives that cell's per-hour samples. Observe-only,
+	// like Progress: reports are bit-identical with or without it.
+	Probe func(cell int, policy string) dcsim.Probe
+	// ProbeTimings forwards wall-clock executor phase timings into the
+	// probe samples (dcsim.Config.ProbeTimings) — the one
+	// non-deterministic sample field, off by default.
+	ProbeTimings bool
 }
 
 // PolicyResult is one comparison column of a scenario run.
@@ -139,8 +150,16 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 	stores := opt.stores(sc)
 	cols := sc.policies()
 	progress := opt.progressCounter(len(cols))
+	// Probes are minted serially in cell order so recorder creation is
+	// deterministic even though cells execute concurrently.
+	probes := make([]dcsim.Probe, len(cols))
+	if opt.Probe != nil {
+		for i, pc := range cols {
+			probes[i] = opt.Probe(i, pc.Label)
+		}
+	}
 	results := exp.ParMap(opt.Workers, len(cols), func(i int) *dcsim.Result {
-		r := runCell(sc, cols[i], stores)
+		r := runCell(sc, cols[i], stores, probes[i], opt.ProbeTimings)
 		progress()
 		return r
 	})
@@ -175,7 +194,7 @@ func (opt Options) progressCounter(total int) func() {
 // independent deterministic simulation. Sweeps and plain runs share
 // this path, which is what makes a single-point sweep byte-identical to
 // the corresponding plain run.
-func runCell(sc Scenario, pc PolicyConfig, stores runStores) *dcsim.Result {
+func runCell(sc Scenario, pc PolicyConfig, stores runStores, probe dcsim.Probe, probeTimings bool) *dcsim.Result {
 	c, arrivals, departures, profiles := sc.materialize(stores)
 	for id, p := range profiles {
 		profiles[id] = sc.Tuning.applyProfile(p)
@@ -202,6 +221,8 @@ func runCell(sc Scenario, pc PolicyConfig, stores runStores) *dcsim.Result {
 		ShardWorkers:    shardWorkers,
 		ShardHostSpan:   sc.Tuning.shardHostSpan,
 		Network:         sc.Network.dcsimConfig(),
+		Probe:           probe,
+		ProbeTimings:    probeTimings,
 		Arrivals:        arrivals,
 		Departures:      departures,
 		// Scenario reports never read the colocation matrix; its

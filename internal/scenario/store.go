@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // StoreCache promotes the per-run shared trace/timeline stores to
@@ -28,8 +29,9 @@ import (
 // pass scenarios whose groups are a pure function of the key, which
 // holds for every registry family (Build is deterministic in Params).
 type StoreCache struct {
-	mu sync.Mutex
-	m  map[string]runStores
+	mu         sync.Mutex
+	m          map[string]runStores
+	promotions atomic.Uint64
 }
 
 // NewStoreCache returns an empty server-lifetime store cache.
@@ -56,11 +58,22 @@ func (c *StoreCache) storesFor(sc Scenario) runStores {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if st, ok := c.m[key]; ok {
+		c.promotions.Add(1)
 		return st
 	}
 	st := sc.sharedStores()
 	c.m[key] = st
 	return st
+}
+
+// Promotions returns how many runs were served an already-cached store
+// entry (cross-request trace/timeline sharing events) — telemetry for
+// drowsyd's /metrics.
+func (c *StoreCache) Promotions() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.promotions.Load()
 }
 
 // structuralKey identifies everything sharedStores reads: the replay

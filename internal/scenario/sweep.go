@@ -426,7 +426,7 @@ func RunSweep(sc Scenario, opt Options) (*SweepReport, error) {
 	stores := opt.stores(storeSrc)
 	progress := opt.progressCounter(len(points) * len(cols))
 	cells := exp.ParMap(opt.Workers, len(points)*len(cols), func(i int) *dcsim.Result {
-		r := runCell(points[i/len(cols)], cols[i%len(cols)], stores)
+		r := runCell(points[i/len(cols)], cols[i%len(cols)], stores, nil, false)
 		progress()
 		return r
 	})

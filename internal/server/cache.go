@@ -44,6 +44,10 @@ type resultCache struct {
 	m      map[string]*entry
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// joins counts the subset of hits that attached to a still-in-flight
+	// entry — the single-flight deduplications proper, as opposed to
+	// completed-entry hits.
+	joins atomic.Uint64
 }
 
 func newResultCache() *resultCache {
@@ -60,6 +64,11 @@ func (c *resultCache) lookup(key string, cells int) (e *entry, leader bool) {
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok {
 		c.hits.Add(1)
+		select {
+		case <-e.done:
+		default:
+			c.joins.Add(1)
+		}
 		return e, false
 	}
 	e = &entry{

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Structured request logging and request instrumentation. The
+// instrument middleware wraps the whole mux: every request flows
+// through a status-capturing writer, lands in the HTTP metrics, and —
+// when the Server was configured with an access-log writer — emits one
+// log line in the chosen format. /healthz is logged never and metered
+// always: liveness probes would drown the log, but their request count
+// is honest signal.
+
+// statusWriter captures the status code and byte count of a response.
+// It forwards Flush so the streaming handlers' flusher assertion keeps
+// working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// accessLogger serializes access-log lines onto one writer. Each line
+// is emitted as a single Write so concurrent requests cannot interleave
+// mid-line.
+type accessLogger struct {
+	mu     sync.Mutex
+	w      interface{ Write([]byte) (int, error) }
+	format string // "text" or "json"
+}
+
+// log emits one request line. spec and cache are response headers the
+// handlers stamp ("-" when a request never reached that logic).
+func (l *accessLogger) log(method, path, spec, cache string, status int, dur time.Duration, bytes int64) {
+	var line []byte
+	if l.format == "json" {
+		line = fmt.Appendf(nil,
+			`{"method":%q,"path":%q,"spec":%q,"cache":%q,"status":%d,"duration_ms":%.3f,"bytes":%d}`+"\n",
+			method, path, spec, cache, status, float64(dur)/float64(time.Millisecond), bytes)
+	} else {
+		line = fmt.Appendf(nil, "method=%s path=%s spec=%s cache=%s status=%d dur=%s bytes=%d\n",
+			method, path, spec, cache, status, dur.Round(time.Microsecond), bytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(line) //nolint:errcheck // logging must never fail a request
+}
+
+// instrument wraps h with metrics and (optional) access logging.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.observeRequest(r.URL.Path, sw.status, dur.Seconds())
+		if s.accessLog == nil || r.URL.Path == "/healthz" {
+			return
+		}
+		s.accessLog.log(r.Method, r.URL.Path,
+			headerOrDash(sw, "X-Drowsyd-Spec"), headerOrDash(sw, "X-Drowsyd-Cache"),
+			sw.status, dur, sw.bytes)
+	})
+}
+
+func headerOrDash(w http.ResponseWriter, key string) string {
+	if v := w.Header().Get(key); v != "" {
+		return v
+	}
+	return "-"
+}
+
+// specHash is the short request-identity tag stamped on responses and
+// log lines: an FNV-64a of the full cache key, hex-encoded. Purely a
+// correlation aid — the cache itself keys on the full string.
+func specHash(key string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return strconv.FormatUint(h, 16)
+}

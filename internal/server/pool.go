@@ -52,6 +52,9 @@ func (p *pool) Go(fn func()) {
 	}()
 }
 
+// capacity reports the maximum number of concurrently running jobs.
+func (p *pool) capacity() int { return cap(p.sem) }
+
 // Drain blocks until every submitted job has finished or ctx expires —
 // the graceful-shutdown path: drowsyd stops accepting connections,
 // then drains in-flight work before exiting.

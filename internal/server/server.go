@@ -10,6 +10,7 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 
+	"drowsydc/internal/obs"
 	"drowsydc/internal/scenario"
 )
 
@@ -29,18 +30,27 @@ type Config struct {
 	// older binary computed. Empty selects the module build revision
 	// when available, else "dev".
 	Version string
+	// AccessLog, when non-nil, receives one structured line per request
+	// (except /healthz — liveness probes would drown the log). Lines are
+	// written atomically; the writer need not be synchronized.
+	AccessLog io.Writer
+	// LogFormat selects the access-log line format: "text" (default) or
+	// "json". Ignored without AccessLog.
+	LogFormat string
 }
 
 // Server is the drowsyd service: handlers, job pool, result cache and
 // the server-lifetime shared trace store.
 type Server struct {
-	limits  Limits
-	version string
-	pool    *pool
-	cache   *resultCache
-	stores  *scenario.StoreCache
-	mux     *http.ServeMux
-	runs    atomic.Uint64
+	limits    Limits
+	version   string
+	pool      *pool
+	cache     *resultCache
+	stores    *scenario.StoreCache
+	mux       *http.ServeMux
+	runs      atomic.Uint64
+	metrics   *obs.Registry
+	accessLog *accessLogger
 
 	// Test seams: the production wiring points at scenario.RunFamily /
 	// scenario.RunFamilySweep; concurrency tests substitute gated stubs
@@ -63,12 +73,21 @@ func New(cfg Config) *Server {
 	if s.version == "" {
 		s.version = buildVersion()
 	}
+	if cfg.AccessLog != nil {
+		format := cfg.LogFormat
+		if format == "" {
+			format = "text"
+		}
+		s.accessLog = &accessLogger{w: cfg.AccessLog, format: format}
+	}
+	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/families", s.handleFamilies)
 	s.mux.HandleFunc("/v1/params", s.handleParams)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
@@ -87,8 +106,9 @@ func buildVersion() string {
 	return "dev"
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the route mux wrapped in
+// the metrics/access-log middleware.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // Drain blocks until in-flight and queued simulation jobs finish or
 // ctx expires — the second half of graceful shutdown, after
@@ -97,17 +117,25 @@ func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
 
 // Stats is the observable state of the serving loop, surfaced by
 // GET /v1/stats. Hits count requests served from (or attached to) an
-// existing cache entry; Misses count requests that started a
-// simulation; Runs counts simulations actually executed — with
-// single-flight working, Runs == Misses.
+// existing cache entry; Joins are the subset of hits that attached to
+// a still-in-flight job (single-flight deduplications proper); Misses
+// count requests that started a simulation; Runs counts simulations
+// actually executed — with single-flight working, Runs == Misses plus
+// any cache-bypassing timeseries runs. StorePromotions counts runs
+// that were served an already-cached trace/timeline store;
+// PoolCapacity is the running-jobs ceiling (QueuedJobs grows only once
+// RunningJobs hits it).
 type Stats struct {
-	Hits         uint64 `json:"hits"`
-	Misses       uint64 `json:"misses"`
-	Runs         uint64 `json:"runs"`
-	CacheEntries int    `json:"cache_entries"`
-	StoreEntries int    `json:"store_entries"`
-	RunningJobs  int64  `json:"running_jobs"`
-	QueuedJobs   int64  `json:"queued_jobs"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Joins           uint64 `json:"joins"`
+	Runs            uint64 `json:"runs"`
+	CacheEntries    int    `json:"cache_entries"`
+	StoreEntries    int    `json:"store_entries"`
+	StorePromotions uint64 `json:"store_promotions"`
+	RunningJobs     int64  `json:"running_jobs"`
+	QueuedJobs      int64  `json:"queued_jobs"`
+	PoolCapacity    int    `json:"pool_capacity"`
 }
 
 // Stats snapshots the counters (exported for tests and the stats
@@ -115,13 +143,16 @@ type Stats struct {
 // counter between loads — fine for observability).
 func (s *Server) Stats() Stats {
 	return Stats{
-		Hits:         s.cache.hits.Load(),
-		Misses:       s.cache.misses.Load(),
-		Runs:         s.runs.Load(),
-		CacheEntries: s.cache.len(),
-		StoreEntries: s.stores.Len(),
-		RunningJobs:  s.pool.running.Load(),
-		QueuedJobs:   s.pool.queued.Load(),
+		Hits:            s.cache.hits.Load(),
+		Misses:          s.cache.misses.Load(),
+		Joins:           s.cache.joins.Load(),
+		Runs:            s.runs.Load(),
+		CacheEntries:    s.cache.len(),
+		StoreEntries:    s.stores.Len(),
+		StorePromotions: s.stores.Promotions(),
+		RunningJobs:     s.pool.running.Load(),
+		QueuedJobs:      s.pool.queued.Load(),
+		PoolCapacity:    s.pool.capacity(),
 	}
 }
 
@@ -156,7 +187,12 @@ func readSpec(w http.ResponseWriter, r *http.Request) (*JobSpec, error) {
 }
 
 // handleRun serves POST /v1/run: body is a run JobSpec, response is
-// byte-identical to `drowsyctl scenario run -name F ...` JSON.
+// byte-identical to `drowsyctl scenario run -name F ...` JSON. With
+// timeseries set (body field or ?timeseries=1) the response becomes
+// the flight-recorder ndjson — one per-hour sample line per (cell,
+// hour) — followed by that same report, and bypasses the result cache
+// (the cache stores exact response bytes of the plain report shape;
+// see respondTimeseries).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "server: POST required")
@@ -167,19 +203,74 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if r.URL.Query().Get("timeseries") == "1" {
+		spec.Timeseries = true
+	}
+	timeseries := spec.Timeseries
+	spec.Timeseries = false // response-shape knob, not part of the run identity
 	sc, err := spec.BuildRun(s.limits)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	key := cacheKey("run", sc, spec.params(), s.version)
+	if timeseries {
+		s.respondTimeseries(w, r, spec, key)
+		return
+	}
 	e, leader := s.cache.lookup(key, sc.CellCount())
 	if leader {
 		s.startJob(key, e, func(opt scenario.Options) (jsonReport, error) {
 			return s.runFamily(spec.Family, spec.params(), opt)
 		})
 	}
+	w.Header().Set("X-Drowsyd-Spec", specHash(key))
 	s.respond(w, r, e, leader, false)
+}
+
+// respondTimeseries runs the job with a flight recorder attached and
+// streams the recorded per-hour samples (ndjson, deterministic — two
+// identical requests produce byte-identical lines) followed by the
+// ordinary report as the terminal chunk; a line-wise reader can split
+// on the first line equal to "{", exactly as with streaming sweeps.
+// The result cache is bypassed on both sides — nothing is looked up
+// and nothing is stored — because cached entries hold plain-report
+// bytes; X-Drowsyd-Cache says so. The job still runs under the bounded
+// pool and the shared store cache, and still counts as a run.
+func (s *Server) respondTimeseries(w http.ResponseWriter, r *http.Request, spec *JobSpec, key string) {
+	fr := &obs.FlightRecorder{}
+	type result struct {
+		rep jsonReport
+		err error
+	}
+	ch := make(chan result, 1) // buffered: the job must never block on a gone client
+	s.pool.Go(func() {
+		s.runs.Add(1)
+		rep, err := s.runFamily(spec.Family, spec.params(), scenario.Options{
+			Stores: s.stores,
+			Probe:  fr.ProbeFor,
+		})
+		ch <- result{rep, err}
+	})
+	var res result
+	select {
+	case res = <-ch:
+	case <-r.Context().Done():
+		// Client gone; the job finishes detached and its result is
+		// dropped (nothing is cached on this path).
+		return
+	}
+	if res.err != nil {
+		writeError(w, http.StatusInternalServerError, res.err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Drowsyd-Cache", "bypass")
+	w.Header().Set("X-Drowsyd-Spec", specHash(key))
+	if err := fr.WriteNDJSON(w); err != nil {
+		return // client-side failure only
+	}
+	res.rep.WriteJSON(w) //nolint:errcheck // client-side failure only
 }
 
 // handleSweep serves POST /v1/sweep: body is a sweep JobSpec, response
@@ -207,6 +298,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKey("sweep", sc, spec.params(), s.version)
+	w.Header().Set("X-Drowsyd-Spec", specHash(key))
 	e, leader := s.cache.lookup(key, sc.CellCount())
 	if leader {
 		s.startJob(key, e, func(opt scenario.Options) (jsonReport, error) {

@@ -367,7 +367,12 @@ func TestServeHealthAndStats(t *testing.T) {
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatalf("stats body not a Stats document: %v\n%s", err, body)
 	}
+	// PoolCapacity is configuration, not activity: non-zero from birth.
+	if st.PoolCapacity <= 0 {
+		t.Fatalf("fresh server pool_capacity = %d, want > 0", st.PoolCapacity)
+	}
+	st.PoolCapacity = 0
 	if st != (Stats{}) {
-		t.Fatalf("fresh server stats = %+v, want zero", st)
+		t.Fatalf("fresh server stats = %+v, want zero activity", st)
 	}
 }

@@ -40,6 +40,10 @@ type JobSpec struct {
 	// Stream asks a sweep for chunked progress events ahead of the
 	// final report (equivalent to the ?stream=1 query parameter).
 	Stream bool `json:"stream,omitempty"`
+	// Timeseries asks a run for the flight-recorder per-hour ndjson
+	// ahead of the final report (equivalent to the ?timeseries=1 query
+	// parameter). Run requests only; it bypasses the result cache.
+	Timeseries bool `json:"timeseries,omitempty"`
 }
 
 // ParseJobSpec decodes a request body strictly: unknown fields, type
@@ -191,6 +195,10 @@ func (s *JobSpec) BuildSweep(l Limits) (scenario.Scenario, error) {
 		return scenario.Scenario{}, fmt.Errorf(
 			"server: sweep spec missing field(s) %s: family, param and values are required",
 			strings.Join(missing, ", "))
+	}
+	if s.Timeseries {
+		return scenario.Scenario{}, fmt.Errorf(
+			"server: timeseries is a run-only field; POST /v1/run for per-hour timeseries")
 	}
 	if err := s.checkCommon(l); err != nil {
 		return scenario.Scenario{}, err

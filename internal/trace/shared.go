@@ -79,6 +79,15 @@ func (s *Shared) Activity(h simtime.Hour) float64 {
 	return c[int(h)&cachedChunkMask]
 }
 
+// sharedPublishes counts chunk publications across every Shared store
+// in the process (telemetry; losers of the CAS race are not counted —
+// their copies are discarded, not published).
+var sharedPublishes atomic.Uint64
+
+// SharedPublishCount returns how many shared-trace chunks have been
+// computed and published since process start.
+func SharedPublishCount() uint64 { return sharedPublishes.Load() }
+
 // fill computes chunk ci and publishes it, returning whichever copy won
 // the publication race.
 func (s *Shared) fill(ci int) *sharedChunk {
@@ -88,6 +97,7 @@ func (s *Shared) fill(ci int) *sharedChunk {
 		c[i] = s.gen.Activity(base + simtime.Hour(i))
 	}
 	if s.chunks[ci].CompareAndSwap(nil, c) {
+		sharedPublishes.Add(1)
 		return c
 	}
 	return s.chunks[ci].Load()
