@@ -75,6 +75,16 @@ func TestCompareBenchClean(t *testing.T) {
 	}
 }
 
+// TestCheckpointRoundTripBench smoke-runs the checkpoint codec
+// benchmark bodies once at both registered fleet sizes: the synthetic
+// state must survive a full Encode/Decode cycle, or `drowsyctl bench`
+// would only discover the breakage at benchmark time.
+func TestCheckpointRoundTripBench(t *testing.T) {
+	for _, vms := range []int{1024, 65536} {
+		benchCheckpointRoundTrip(vms)(&testing.B{N: 1})
+	}
+}
+
 // TestCompareBenchBadBaseline covers the error paths: missing file and
 // non-bench JSON.
 func TestCompareBenchBadBaseline(t *testing.T) {

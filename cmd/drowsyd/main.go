@@ -7,6 +7,8 @@
 //
 //	drowsyd [-addr 127.0.0.1:7077] [-workers N] [-drain-timeout 30s]
 //	        [-max-hosts N] [-max-horizon-days N] [-max-grid-values N]
+//	        [-state-dir DIR] [-max-queue N] [-max-sim-bytes N]
+//	        [-checkpoint-hours N]
 //	        [-log-format text|json] [-debug-addr 127.0.0.1:7078]
 //
 // Endpoints:
@@ -20,15 +22,28 @@
 //	GET  /v1/params   sweepable-parameter catalog
 //	GET  /v1/stats    cache/pool counters
 //	GET  /metrics     Prometheus text exposition
-//	GET  /healthz     liveness probe
+//	GET  /healthz     liveness probe (always 200 while the process runs)
+//	GET  /readyz      readiness probe (503 during journal replay and drain)
 //
-// Every request (except /healthz) is access-logged to stderr in the
-// -log-format shape. With -debug-addr set, net/http/pprof is served on
-// that separate listener — keep it loopback-only; profiles expose
-// internals the serving address should not.
+// Every request (except /healthz and /readyz) is access-logged to
+// stderr in the -log-format shape. With -debug-addr set, net/http/pprof
+// is served on that separate listener — keep it loopback-only; profiles
+// expose internals the serving address should not.
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight simulation jobs (up to -drain-timeout) and exits.
+// With -state-dir set, admitted jobs are journaled durably and their
+// month-boundary checkpoints spill under the directory: after a crash
+// the daemon replays the pending backlog (resuming from checkpoints)
+// before /readyz reports ready, and serves the recovered — and
+// byte-identical — results from cache. Overload shedding: once
+// -max-queue jobs wait for a pool slot, new simulations get 429 with a
+// Retry-After header; jobs whose estimated memory exceeds
+// -max-sim-bytes get 413.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, then
+// drains in two phases within -drain-timeout: the first half waits for
+// in-flight jobs to finish naturally, the second half cancels them
+// cooperatively at their next simulated hour boundary (journaled jobs
+// stay pending and resume on the next start).
 package main
 
 import (
@@ -54,6 +69,10 @@ func main() {
 	maxHosts := fs.Int("max-hosts", 0, "per-request hosts cap (0 = default 4096)")
 	maxHorizonDays := fs.Int("max-horizon-days", 0, "per-request horizon cap in days (0 = default 400)")
 	maxGridValues := fs.Int("max-grid-values", 0, "per-request sweep-grid cap (0 = default 32)")
+	stateDir := fs.String("state-dir", "", "durable state directory: job journal + checkpoint spills (empty = in-memory only)")
+	maxQueue := fs.Int("max-queue", 0, "admission-queue bound before shedding with 429 (0 = default 64)")
+	maxSimBytes := fs.Int64("max-sim-bytes", 0, "estimated per-job memory budget in bytes before 413 (0 = default 4 GiB)")
+	checkpointHours := fs.Int("checkpoint-hours", 0, "checkpoint spill cadence in simulated hours (0 = monthly)")
 	logFormat := fs.String("log-format", "text", "access-log line format: text or json")
 	debugAddr := fs.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 	_ = fs.Parse(os.Args[1:])
@@ -62,16 +81,23 @@ func main() {
 	if *logFormat != "text" && *logFormat != "json" {
 		logger.Fatalf("-log-format must be text or json (got %q)", *logFormat)
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers: *workers,
 		Limits: server.Limits{
 			MaxHosts:       *maxHosts,
 			MaxHorizonDays: *maxHorizonDays,
 			MaxGridValues:  *maxGridValues,
 		},
-		AccessLog: os.Stderr,
-		LogFormat: *logFormat,
+		AccessLog:            os.Stderr,
+		LogFormat:            *logFormat,
+		StateDir:             *stateDir,
+		MaxQueue:             *maxQueue,
+		MaxSimBytes:          *maxSimBytes,
+		CheckpointEveryHours: *checkpointHours,
 	})
+	if err != nil {
+		logger.Fatalf("startup: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	if *debugAddr != "" {
@@ -113,7 +139,11 @@ func main() {
 	}
 	if err := srv.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Printf("drain: %v (abandoning in-flight jobs)", err)
+		srv.Close() //nolint:errcheck
 		os.Exit(1)
+	}
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
 	}
 	logger.Printf("drained; bye")
 }

@@ -35,7 +35,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv := server.New(server.Config{})
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		go http.Serve(ln, srv.Handler()) //nolint:errcheck // dies with the example
 		base = "http://" + ln.Addr().String()
 		fmt.Printf("drowsyd serving in-process on %s\n\n", base)

@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"drowsydc/internal/metrics"
+)
+
+// sampleState builds a representative RunState exercising every
+// section: multiple VMs with and without timers, hosts in every power
+// state, two shards with latency multisets, net serials and policy
+// state.
+func sampleState() *RunState {
+	return &RunState{
+		Hour:         744,
+		StartHour:    0,
+		HorizonHours: 2160,
+		Policy:       "drowsy",
+		PolicyState:  []byte{1, 2, 3, 4},
+		VMs: []VMState{
+			{ID: 0, Migrations: 3, HasTimer: true, TimerAt: 2680000, Model: []byte{9, 8, 7}},
+			{ID: 1, Migrations: 0, HasTimer: false, Model: nil},
+			{ID: 7, Migrations: 1, HasTimer: true, TimerAt: -1, Model: []byte{0}},
+		},
+		Hosts: []HostState{
+			{
+				ID: 0, VMIDs: []int32{1, 0}, PState: 0, Since: 2678400.5, Util: 0.25,
+				Joules: 1.5e8, StateJoules: [5]float64{1e8, 2e7, 1e7, 5e6, 0},
+				SuspSecs: 3600, OffSecs: 0, TotalRef: 0, Transits: 12, Resumes: 12,
+				GraceUntil: 2678500, MonSuspended: false, Decisions: 500, VetoGrace: 20,
+				VetoBusy: 100, ResumedAt: 2678401, HasWake: false,
+			},
+			{
+				ID: 1, VMIDs: []int32{7}, PState: 2, Since: 2000000, Util: 0,
+				Joules: 9e7, SuspSecs: 600000, TotalRef: 0, Transits: 4, Resumes: 3,
+				MonSuspended: true, Decisions: 400, ResumedAt: 1999000,
+				HasWake: true, WakeAt: 2685600,
+			},
+			{ID: 2, VMIDs: nil, PState: 4, Since: 100, Joules: 50},
+		},
+		Shards: []ShardState{
+			{
+				Latency:        []metrics.LatencySample{{Seconds: 0.05, Count: 100000}, {Seconds: 0.85, Count: 3}},
+				WakeLatency:    []metrics.LatencySample{{Seconds: 0.8, Count: 3}},
+				ScheduledWakes: 40, PacketWakes: 3, WakeAttempts: 50, WakeRetries: 7,
+				LostWakes: 1, RelayedWakes: 1, LostSLASeconds: 12.5, PathJoules: 80,
+				EventHours: 9,
+			},
+			{},
+		},
+		HasNet:        true,
+		NetSerials:    []uint64{5, 0, 99},
+		Migrations:    17,
+		MigrationSecs: 108.8,
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	st := sampleState()
+	data := Encode(st)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", st, got)
+	}
+	// Re-encode must be byte-stable (capture → restore → capture).
+	if !bytes.Equal(data, Encode(got)) {
+		t.Fatal("re-encode of decoded state differs")
+	}
+}
+
+func TestStateRoundTripMinimal(t *testing.T) {
+	st := &RunState{Hour: 1, Policy: "oasis"}
+	got, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != "oasis" || got.Hour != 1 || got.HasNet || len(got.VMs) != 0 {
+		t.Fatalf("minimal state mangled: %+v", got)
+	}
+}
+
+// TestDecodeTruncationEveryByte is the exhaustive truncation gate: a
+// valid encoding cut at every byte boundary must error descriptively,
+// never panic, never succeed.
+func TestDecodeTruncationEveryByte(t *testing.T) {
+	data := Encode(sampleState())
+	for n := 0; n < len(data); n++ {
+		st, err := Decode(data[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+		if st != nil {
+			t.Fatalf("truncation to %d bytes returned a partial state", n)
+		}
+		if err.Error() == "" {
+			t.Fatalf("truncation to %d bytes produced an empty error", n)
+		}
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	good := Encode(sampleState())
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic":        mutate(func(b []byte) { b[0] = 0xFF }),
+		"future version":   mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 99) }),
+		"trailing garbage": append(append([]byte(nil), good...), 0xAB),
+		"giant VM count": mutate(func(b []byte) {
+			// VM count sits after header(8) + 3×i64 + name(2+6) + policy state(4+4).
+			off := 8 + 24 + 2 + len("drowsy") + 4 + 4
+			binary.LittleEndian.PutUint32(b[off:], 0xFFFFFFF0)
+		}),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsBadPowerState(t *testing.T) {
+	st := sampleState()
+	st.Hosts[0].PState = 9
+	if _, err := Decode(Encode(st)); err == nil {
+		t.Fatal("power state 9 accepted")
+	}
+}
+
+func TestDecodeRejectsUnsortedSamples(t *testing.T) {
+	st := sampleState()
+	st.Shards[0].Latency = []metrics.LatencySample{{Seconds: 0.9, Count: 1}, {Seconds: 0.1, Count: 1}}
+	if _, err := Decode(Encode(st)); err == nil {
+		t.Fatal("unsorted latency samples accepted")
+	}
+	st = sampleState()
+	st.Shards[0].Latency = []metrics.LatencySample{{Seconds: 0.1, Count: 0}}
+	if _, err := Decode(Encode(st)); err == nil {
+		t.Fatal("zero-count latency sample accepted")
+	}
+	st = sampleState()
+	st.Shards[0].Latency = []metrics.LatencySample{{Seconds: -0.1, Count: 1}}
+	if _, err := Decode(Encode(st)); err == nil {
+		t.Fatal("negative latency sample accepted")
+	}
+}

@@ -1,0 +1,303 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The job journal is drowsyd's durable record of admitted work: an
+// append-only file holding one fsync'd record per admitted job spec and
+// one tombstone per completion. After a crash, replaying the journal
+// yields exactly the jobs that were admitted but never finished — the
+// set the daemon re-runs (or resumes from spilled checkpoints) before
+// reporting ready.
+//
+// Frame format (little-endian), after an 8-byte file header of magic
+// "DrJL" + version:
+//
+//	u32 payload length | u32 CRC32 (IEEE) of payload | payload
+//
+// Payload: u8 record type (1 = admit, 2 = complete), u16 key length +
+// key; admit records add u16 kind length + kind and u32 spec length +
+// spec bytes.
+//
+// Torn tails — a crash mid-append leaves a partial frame, or a frame
+// whose CRC does not match — are expected and tolerated: replay stops
+// at the last intact frame and Open truncates the tear before
+// appending. Everything else is a hard error: a CRC-valid frame with a
+// malformed payload, a duplicate admit of a pending key, or a tombstone
+// for a key that is not pending all mean real corruption (or a software
+// bug), and the daemon must refuse to trust the file rather than
+// silently drop or re-run jobs.
+const (
+	journalMagic   = 0x44724A4C // "DrJL"
+	journalVersion = 1
+
+	recordAdmit    = 1
+	recordComplete = 2
+
+	// maxJournalRecord caps a single record's payload: specs are small
+	// JSON documents, so anything bigger is corruption.
+	maxJournalRecord = 16 << 20
+)
+
+// Entry is one admitted job: its cache key, the request kind ("run" or
+// "sweep") and the canonical spec bytes needed to re-execute it.
+type Entry struct {
+	Key  string
+	Kind string
+	Spec []byte
+}
+
+// Replay is the outcome of reading a journal: the pending (admitted,
+// never completed) entries in admission order, and whether a torn tail
+// was dropped.
+type Replay struct {
+	Pending []Entry
+	// Torn reports that the file ended in a partial or CRC-corrupt
+	// frame (the expected shape of a crash mid-append), which was
+	// ignored. GoodBytes is the offset the intact prefix ends at.
+	Torn      bool
+	GoodBytes int64
+}
+
+// ReplayJournal replays journal bytes without touching the filesystem
+// (the pure core Open builds on, and the fuzz target). It never panics;
+// every rejection carries a descriptive error.
+func ReplayJournal(data []byte) (*Replay, error) {
+	rp := &Replay{}
+	if len(data) == 0 {
+		// A crash between file creation and the header write. There is
+		// nothing to recover; the caller rewrites the header.
+		rp.Torn = true
+		return rp, nil
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("checkpoint: journal header is %d bytes, need 8", len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data); magic != journalMagic {
+		return nil, fmt.Errorf("checkpoint: bad journal magic %#x (want %#x)", magic, journalMagic)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != journalVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported journal version %d (have %d)", v, journalVersion)
+	}
+	off := 8
+	st := &replayState{rp: rp, byKey: make(map[string]int)}
+	for off < len(data) {
+		if off+8 > len(data) || int(binary.LittleEndian.Uint32(data[off:])) > len(data)-off-8 {
+			// Partial frame header or a length running past EOF: a torn
+			// final append.
+			rp.Torn = true
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		if plen > maxJournalRecord {
+			return nil, fmt.Errorf("checkpoint: journal record of %d bytes at offset %d exceeds cap", plen, off)
+		}
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+8 : off+8+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			// A torn write inside the final frame. Nothing after it is
+			// framable, so recovery stops here.
+			rp.Torn = true
+			break
+		}
+		if err := st.apply(payload); err != nil {
+			return nil, fmt.Errorf("%w (record at offset %d)", err, off)
+		}
+		off += 8 + plen
+	}
+	rp.GoodBytes = int64(off)
+	// Compact out completed entries, preserving admission order.
+	live := rp.Pending[:0]
+	for i, e := range rp.Pending {
+		if st.alive[i] {
+			live = append(live, e)
+		}
+	}
+	rp.Pending = live
+	return rp, nil
+}
+
+// replayState folds records into the pending set. Liveness is tracked
+// per admitted entry, not per key: a key may be admitted again after
+// its completion (a re-run of the same spec), and the tombstoned
+// earlier entry must not resurface.
+type replayState struct {
+	rp    *Replay
+	alive []bool
+	byKey map[string]int // key → latest entry index, -1 after tombstone
+}
+
+// apply decodes one CRC-valid payload and folds it into the pending
+// set. Malformed payloads are hard errors: the CRC proves the bytes are
+// what was written, so the writer was broken.
+func (st *replayState) apply(payload []byte) error {
+	if len(payload) < 3 {
+		return fmt.Errorf("checkpoint: journal record of %d bytes is too short", len(payload))
+	}
+	typ := payload[0]
+	keyLen := int(binary.LittleEndian.Uint16(payload[1:]))
+	rest := payload[3:]
+	if keyLen > len(rest) {
+		return fmt.Errorf("checkpoint: journal record key length %d exceeds payload", keyLen)
+	}
+	key := string(rest[:keyLen])
+	rest = rest[keyLen:]
+	if key == "" {
+		return fmt.Errorf("checkpoint: journal record with empty key")
+	}
+	switch typ {
+	case recordAdmit:
+		if len(rest) < 2 {
+			return fmt.Errorf("checkpoint: admit record for %q truncated before kind", key)
+		}
+		kindLen := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if kindLen > len(rest) {
+			return fmt.Errorf("checkpoint: admit record kind length %d exceeds payload", kindLen)
+		}
+		kind := string(rest[:kindLen])
+		rest = rest[kindLen:]
+		if len(rest) < 4 {
+			return fmt.Errorf("checkpoint: admit record for %q truncated before spec", key)
+		}
+		specLen := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if specLen != len(rest) {
+			return fmt.Errorf("checkpoint: admit record spec length %d does not match the %d bytes present",
+				specLen, len(rest))
+		}
+		if idx, seen := st.byKey[key]; seen && idx >= 0 {
+			return fmt.Errorf("checkpoint: duplicate admit of pending job %q", key)
+		}
+		st.byKey[key] = len(st.rp.Pending)
+		st.rp.Pending = append(st.rp.Pending, Entry{Key: key, Kind: kind, Spec: append([]byte(nil), rest...)})
+		st.alive = append(st.alive, true)
+	case recordComplete:
+		if len(rest) != 0 {
+			return fmt.Errorf("checkpoint: tombstone for %q carries %d trailing bytes", key, len(rest))
+		}
+		idx, seen := st.byKey[key]
+		if !seen {
+			return fmt.Errorf("checkpoint: tombstone for job %q that was never admitted", key)
+		}
+		if idx < 0 {
+			return fmt.Errorf("checkpoint: duplicate tombstone for job %q", key)
+		}
+		st.alive[idx] = false
+		st.byKey[key] = -1
+	default:
+		return fmt.Errorf("checkpoint: unknown journal record type %d", typ)
+	}
+	return nil
+}
+
+// Journal is an open, append-only job journal.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (or creates) the journal at path, replays it, and
+// positions the file for appending. A torn tail is truncated away
+// before the journal accepts new records. The returned Replay lists the
+// pending jobs the caller must recover.
+func OpenJournal(path string) (*Journal, *Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: open journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: read journal: %w", err)
+	}
+	rp, err := ReplayJournal(data)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if len(data) == 0 {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:], journalMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], journalVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("checkpoint: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("checkpoint: sync journal header: %w", err)
+		}
+		rp.GoodBytes = 8
+		return j, rp, nil
+	}
+	if rp.Torn {
+		if err := f.Truncate(rp.GoodBytes); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("checkpoint: truncate torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(rp.GoodBytes, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: seek journal: %w", err)
+	}
+	return j, rp, nil
+}
+
+// Admit durably records an admitted job before it starts executing.
+func (j *Journal) Admit(e Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("checkpoint: admit with empty key")
+	}
+	payload := make([]byte, 0, 9+len(e.Key)+len(e.Kind)+len(e.Spec))
+	payload = append(payload, recordAdmit)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(e.Key)))
+	payload = append(payload, e.Key...)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(e.Kind)))
+	payload = append(payload, e.Kind...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(e.Spec)))
+	payload = append(payload, e.Spec...)
+	return j.append(payload)
+}
+
+// Complete durably records that a job finished (successfully or not) —
+// its journal entry is dead and will not be recovered.
+func (j *Journal) Complete(key string) error {
+	if key == "" {
+		return fmt.Errorf("checkpoint: complete with empty key")
+	}
+	payload := make([]byte, 0, 3+len(key))
+	payload = append(payload, recordComplete)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(key)))
+	payload = append(payload, key...)
+	return j.append(payload)
+}
+
+// append frames, writes and fsyncs one record.
+func (j *Journal) append(payload []byte) error {
+	if len(payload) > maxJournalRecord {
+		return fmt.Errorf("checkpoint: journal record of %d bytes exceeds cap", len(payload))
+	}
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: append journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

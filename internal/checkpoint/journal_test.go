@@ -1,0 +1,299 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T) (*Journal, *Replay, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, rp, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rp, path
+}
+
+func TestJournalAdmitCompleteCycle(t *testing.T) {
+	j, rp, path := openTemp(t)
+	if len(rp.Pending) != 0 || rp.Torn == false {
+		// A fresh file replays as empty with Torn set (no header yet);
+		// Open rewrites the header.
+		t.Fatalf("fresh journal replay: %+v", rp)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Admit(Entry{Key: "a", Kind: "run", Spec: []byte(`{"family":"x"}`)}))
+	must(j.Admit(Entry{Key: "b", Kind: "sweep", Spec: []byte(`{}`)}))
+	must(j.Complete("a"))
+	must(j.Close())
+
+	j2, rp2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rp2.Torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if len(rp2.Pending) != 1 || rp2.Pending[0].Key != "b" || rp2.Pending[0].Kind != "sweep" {
+		t.Fatalf("pending after replay: %+v", rp2.Pending)
+	}
+	// The journal stays appendable after replay.
+	if err := j2.Complete("b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalReadmitAfterComplete(t *testing.T) {
+	j, _, path := openTemp(t)
+	for _, step := range []func() error{
+		func() error { return j.Admit(Entry{Key: "k", Kind: "run", Spec: []byte("s1")}) },
+		func() error { return j.Complete("k") },
+		func() error { return j.Admit(Entry{Key: "k", Kind: "run", Spec: []byte("s2")}) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, rp, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Pending) != 1 || string(rp.Pending[0].Spec) != "s2" {
+		t.Fatalf("re-admit replay: %+v", rp.Pending)
+	}
+}
+
+// TestJournalTornTailEveryByte simulates a crash mid-append at every
+// byte of the final record: replay must recover the intact prefix,
+// report the tear, and Open must truncate it so appends resume cleanly.
+func TestJournalTornTailEveryByte(t *testing.T) {
+	j, _, path := openTemp(t)
+	if err := j.Admit(Entry{Key: "keep", Kind: "run", Spec: []byte("spec")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(Entry{Key: "torn", Kind: "run", Spec: []byte("other")}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the second record's start: header + first frame.
+	firstLen := int(binary.LittleEndian.Uint32(full[8:]))
+	secondStart := 8 + 8 + firstLen
+	// Cutting exactly at the frame boundary yields a clean file; every
+	// cut strictly inside the second frame must be detected as a tear.
+	for cut := secondStart + 1; cut < len(full); cut++ {
+		rp, err := ReplayJournal(full[:cut])
+		if err != nil {
+			// A cut landing so that the partial frame is CRC-valid
+			// cannot happen; any error here is a bug.
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if !rp.Torn {
+			t.Fatalf("cut at %d not reported torn", cut)
+		}
+		if len(rp.Pending) != 1 || rp.Pending[0].Key != "keep" {
+			t.Fatalf("cut at %d lost the intact prefix: %+v", cut, rp.Pending)
+		}
+		if rp.GoodBytes != int64(secondStart) {
+			t.Fatalf("cut at %d: good bytes %d, want %d", cut, rp.GoodBytes, secondStart)
+		}
+	}
+	// A real recovery: truncate mid-record on disk, reopen, append.
+	if err := os.WriteFile(path, full[:secondStart+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, rp, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp.Torn || len(rp.Pending) != 1 {
+		t.Fatalf("reopen after tear: %+v", rp)
+	}
+	if err := j2.Admit(Entry{Key: "new", Kind: "run", Spec: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rp2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp2.Torn || len(rp2.Pending) != 2 {
+		t.Fatalf("replay after recovery append: %+v", rp2)
+	}
+}
+
+// TestJournalCorruptionErrors pins the hard-error cases: CRC-valid
+// frames with semantically invalid content must refuse replay.
+func TestJournalCorruptionErrors(t *testing.T) {
+	header := make([]byte, 8)
+	binary.LittleEndian.PutUint32(header, journalMagic)
+	binary.LittleEndian.PutUint32(header[4:], journalVersion)
+	frame := func(payload []byte) []byte {
+		out := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+		return append(out, payload...)
+	}
+	admit := func(key string) []byte {
+		p := []byte{recordAdmit}
+		p = binary.LittleEndian.AppendUint16(p, uint16(len(key)))
+		p = append(p, key...)
+		p = binary.LittleEndian.AppendUint16(p, 3)
+		p = append(p, "run"...)
+		p = binary.LittleEndian.AppendUint32(p, 2)
+		p = append(p, "{}"...)
+		return p
+	}
+	tombstone := func(key string) []byte {
+		p := []byte{recordComplete}
+		p = binary.LittleEndian.AppendUint16(p, uint16(len(key)))
+		return append(p, key...)
+	}
+	join := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+
+	cases := map[string][]byte{
+		"bad magic":          {1, 2, 3, 4, 5, 6, 7, 8},
+		"short header":       {1, 2, 3},
+		"future version":     join(header[:4], []byte{9, 0, 0, 0}),
+		"duplicate admit":    join(header, frame(admit("k")), frame(admit("k"))),
+		"orphan tombstone":   join(header, frame(tombstone("ghost"))),
+		"double tombstone":   join(header, frame(admit("k")), frame(tombstone("k")), frame(tombstone("k"))),
+		"unknown type":       join(header, frame([]byte{7, 1, 0, 'x'})),
+		"empty key":          join(header, frame([]byte{recordAdmit, 0, 0})),
+		"tombstone trailing": join(header, frame(append(tombstone("k"), 0xFF))),
+	}
+	for name, data := range cases {
+		if _, err := ReplayJournal(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestJournalCRCCorruptMidFile pins the containment property: a bit
+// flip in a record's payload makes everything from that record on
+// unrecoverable (reported torn), but the prefix survives.
+func TestJournalCRCCorruptMidFile(t *testing.T) {
+	j, _, path := openTemp(t)
+	j.Admit(Entry{Key: "a", Kind: "run", Spec: []byte("1")})
+	j.Admit(Entry{Key: "b", Kind: "run", Spec: []byte("2")})
+	j.Close()
+	data, _ := os.ReadFile(path)
+	firstLen := int(binary.LittleEndian.Uint32(data[8:]))
+	// Flip a payload byte of the second record.
+	data[8+8+firstLen+8] ^= 0xFF
+	rp, err := ReplayJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp.Torn || len(rp.Pending) != 1 || rp.Pending[0].Key != "a" {
+		t.Fatalf("corrupt mid-file replay: %+v", rp)
+	}
+}
+
+// TestJournalOpenTruncatesTornTail pins the open-time repair: a journal
+// whose tail is a partial frame (the shape a crash mid-append leaves)
+// opens successfully, reports the tear, physically truncates it away,
+// and accepts new appends that a clean reopen then replays.
+func TestJournalOpenTruncatesTornTail(t *testing.T) {
+	j, _, path := openTemp(t)
+	if err := j.Admit(Entry{Key: "a", Kind: "run", Spec: []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 9, 9}); err != nil { // half a length prefix
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, rp, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp.Torn || len(rp.Pending) != 1 {
+		t.Fatalf("torn reopen replay: %+v", rp)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != rp.GoodBytes {
+		t.Fatalf("tear not truncated: size %d, good %d", fi.Size(), rp.GoodBytes)
+	}
+	if err := j2.Admit(Entry{Key: "b", Kind: "run", Spec: []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, rp3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if rp3.Torn || len(rp3.Pending) != 2 {
+		t.Fatalf("replay after repaired append: %+v", rp3)
+	}
+}
+
+// TestJournalOpenErrors covers the open-time hard failures: an
+// unopenable path and a CRC-valid journal whose content is semantically
+// corrupt (bad magic) — repairable tears open fine, lies do not.
+func TestJournalOpenErrors(t *testing.T) {
+	if _, _, err := OpenJournal(t.TempDir()); err == nil {
+		t.Fatal("opening a directory as a journal must fail")
+	}
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	if err := os.WriteFile(path, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("bad magic must fail open, not be truncated away")
+	}
+}
+
+// TestJournalRecordValidation covers the append-side guards: empty keys
+// are rejected on both record kinds, and a record above the frame cap
+// never reaches the file.
+func TestJournalRecordValidation(t *testing.T) {
+	j, _, path := openTemp(t)
+	defer j.Close()
+	if err := j.Admit(Entry{Kind: "run", Spec: []byte("{}")}); err == nil {
+		t.Fatal("admit with empty key accepted")
+	}
+	if err := j.Complete(""); err == nil {
+		t.Fatal("tombstone with empty key accepted")
+	}
+	if err := j.Admit(Entry{Key: "k", Kind: "run", Spec: make([]byte, maxJournalRecord)}); err == nil {
+		t.Fatal("record above the frame cap accepted")
+	}
+	if j.Path() != path {
+		t.Fatalf("Path() = %q, want %q", j.Path(), path)
+	}
+	// None of the rejected records polluted the file.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rp, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Pending) != 0 || rp.Torn {
+		t.Fatalf("rejected records reached the journal: %+v", rp)
+	}
+}

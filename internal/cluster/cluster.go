@@ -607,3 +607,32 @@ type Policy interface {
 	// (the Neat path, §III-D-b). Implementations migrate VMs in place.
 	Rebalance(c *Cluster, hr simtime.Hour)
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint restore
+
+// RestoreMigrations overwrites the VM's migration counter with a
+// previously captured value, for run checkpoints.
+func (v *VM) RestoreMigrations(n int) { v.migrations = n }
+
+// RestoreMigrationLedger overwrites the cluster-wide migration counters
+// with previously captured values, for run checkpoints.
+func (c *Cluster) RestoreMigrationLedger(migrations int, seconds float64) {
+	c.migrations = migrations
+	c.migrationSecs = seconds
+}
+
+// RestorePopulation replaces the cluster's VM registry with vms, in
+// order, for run checkpoints: the registry's iteration order is
+// placement- and policy-visible, so a restored run must reproduce the
+// exact order the live run had at the checkpoint boundary (arrivals
+// appended hour by hour, departures spliced out). Every VM is detached;
+// the caller re-places them per the serialized host assignment.
+func (c *Cluster) RestorePopulation(vms []*VM) {
+	for _, v := range vms {
+		if v.host != nil {
+			c.remove(v)
+		}
+	}
+	c.vms = append(c.vms[:0:0], vms...)
+}

@@ -9,26 +9,312 @@ import (
 	"drowsydc/internal/simtime"
 )
 
-// codecMagic and codecVersion guard the binary format of a serialized
-// idleness model. The format is used by the fault-tolerant waking-module
-// mirroring (§V: "each waking module monitors and mirrors another one")
-// and by experiment checkpointing.
+// codecMagic and the codec versions guard the binary format of a
+// serialized idleness model. The format is used by the fault-tolerant
+// waking-module mirroring (§V: "each waking module monitors and mirrors
+// another one") and by experiment checkpointing.
+//
+// Version 1 is the dense layout: all 12 SI_y month tables written
+// unconditionally (unallocated months as zeros) — 79 KB per model
+// regardless of how much of the year was observed. Version 2 keeps the
+// same header/tail but encodes SI_y sparsely behind a month-presence
+// bitmap, so a model that has only seen a few months costs a few KB.
+// That sparsity is what makes month-boundary run checkpoints feasible at
+// fleet scale (65,536 VMs × 79 KB would be 5 GB per checkpoint; sparse
+// models early in a run are ~8 KB). Encoding always emits version 2;
+// decoding accepts both.
 const (
-	codecMagic   = 0x44724459 // "DrDY"
-	codecVersion = 1
+	codecMagic         = 0x44724459 // "DrDY"
+	codecVersionDense  = 1
+	codecVersionSparse = 2
 )
 
-// totalScores is the number of SI values in a model:
-// 24 SI_d + 24×7 SI_w + 24×31 SI_m + 24×31×12 SI_y.
-const totalScores = simtime.HoursPerDay +
-	simtime.HoursPerDay*simtime.DaysPerWeek +
-	simtime.HoursPerDay*simtime.DaysPerMonth +
-	simtime.HoursPerDay*simtime.DaysPerMonth*simtime.MonthsPerYear
+// scoresPerMonth is the size of one SI_y month table.
+const scoresPerMonth = simtime.HoursPerDay * simtime.DaysPerMonth
 
-// MarshalBinary encodes the model in a fixed-layout little-endian form.
+// denseScores is the number of SI values outside SI_y:
+// 24 SI_d + 24×7 SI_w + 24×31 SI_m.
+const denseScores = simtime.HoursPerDay +
+	simtime.HoursPerDay*simtime.DaysPerWeek +
+	simtime.HoursPerDay*simtime.DaysPerMonth
+
+// tailValues counts the fixed values after the score tables: the 4
+// weights, activeSum, activeCount, hoursObserved, hoursIdle and the
+// three option fields.
+const tailValues = NumScales + 8
+
+// MarshalBinary encodes the model in the sparse little-endian version-2
+// layout. An SI_y month is written only when its table is allocated and
+// carries at least one non-zero score; the decoder leaves absent months
+// nil. All-zero allocated months are canonicalized to "absent" so that
+// encode∘decode∘encode is a fixed point — checkpoint re-encodes of a
+// restored model are byte-identical to the original capture.
 func (m *Model) MarshalBinary() ([]byte, error) {
+	months := 0
+	var present uint16
+	for mo, row := range m.SIy {
+		if row == nil || rowIsZero(row) {
+			continue
+		}
+		present |= 1 << uint(mo)
+		months++
+	}
+	buf := make([]byte, 0, 10+8*(denseScores+months*scoresPerMonth+tailValues))
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, codecVersionSparse)
+	for _, v := range m.SId {
+		buf = appendF(buf, v)
+	}
+	for d := range m.SIw {
+		for _, v := range m.SIw[d] {
+			buf = appendF(buf, v)
+		}
+	}
+	for d := range m.SIm {
+		for _, v := range m.SIm[d] {
+			buf = appendF(buf, v)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, present)
+	for mo, row := range m.SIy {
+		if present&(1<<uint(mo)) == 0 {
+			continue
+		}
+		for d := range row {
+			for _, v := range row[d] {
+				buf = appendF(buf, v)
+			}
+		}
+	}
+	for _, v := range m.W {
+		buf = appendF(buf, v)
+	}
+	buf = appendF(buf, m.activeSum)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.activeCount))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.hoursObserved))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.hoursIdle))
+	buf = appendF(buf, m.opts.NoiseFloor)
+	buf = appendF(buf, m.opts.DescentRate)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.opts.DescentSteps))
+	return buf, nil
+}
+
+func appendF(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func rowIsZero(row *SIMonth) bool {
+	for d := range row {
+		for _, v := range row[d] {
+			if v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UnmarshalBinary decodes a model previously encoded by MarshalBinary —
+// either the dense version-1 layout or the sparse version-2 one.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("core: truncated model header: %d bytes", len(data))
+	}
+	magic := binary.LittleEndian.Uint32(data)
+	if magic != codecMagic {
+		return fmt.Errorf("core: bad magic %#x", magic)
+	}
+	version := binary.LittleEndian.Uint32(data[4:])
+	switch version {
+	case codecVersionDense:
+		return m.unmarshalDense(data[8:])
+	case codecVersionSparse:
+		return m.unmarshalSparse(data[8:])
+	default:
+		return fmt.Errorf("core: unsupported model version %d", version)
+	}
+}
+
+// modelReader is a little-endian cursor over a serialized model body
+// with explicit truncation and NaN checks.
+type modelReader struct {
+	data []byte
+	off  int
+}
+
+func (r *modelReader) f64(dst *float64, section string) error {
+	if r.off+8 > len(r.data) {
+		return fmt.Errorf("core: truncated model %s: %d bytes left, need 8", section, len(r.data)-r.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	if math.IsNaN(v) {
+		return fmt.Errorf("core: NaN in serialized model")
+	}
+	*dst = v
+	return nil
+}
+
+func (r *modelReader) i64(dst *int64, section string) error {
+	if r.off+8 > len(r.data) {
+		return fmt.Errorf("core: truncated model %s: %d bytes left, need 8", section, len(r.data)-r.off)
+	}
+	*dst = int64(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return nil
+}
+
+func (r *modelReader) u16(dst *uint16, section string) error {
+	if r.off+2 > len(r.data) {
+		return fmt.Errorf("core: truncated model %s: %d bytes left, need 2", section, len(r.data)-r.off)
+	}
+	*dst = binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return nil
+}
+
+// unmarshalSparse decodes the version-2 body (after magic+version).
+func (m *Model) unmarshalSparse(body []byte) error {
+	// The scores about to be decoded replace the current ones; drop any
+	// cached gathers derived from them.
+	m.ipCacheKey = [ipCacheSlots]int32{}
+	r := &modelReader{data: body}
+	if err := m.decodeDenseScores(r); err != nil {
+		return err
+	}
+	var present uint16
+	if err := r.u16(&present, "body"); err != nil {
+		return err
+	}
+	if present>>simtime.MonthsPerYear != 0 {
+		return fmt.Errorf("core: month bitmap %#x has bits beyond month %d", present, simtime.MonthsPerYear-1)
+	}
+	for mo := range m.SIy {
+		if present&(1<<uint(mo)) == 0 {
+			m.SIy[mo] = nil
+			continue
+		}
+		var row SIMonth
+		zero := true
+		for d := range row {
+			for i := range row[d] {
+				if err := r.f64(&row[d][i], "body"); err != nil {
+					return err
+				}
+				if row[d][i] != 0 {
+					zero = false
+				}
+			}
+		}
+		if zero {
+			return fmt.Errorf("core: month %d marked present but all-zero", mo)
+		}
+		rowCopy := row
+		m.SIy[mo] = &rowCopy
+	}
+	return m.decodeTail(r)
+}
+
+// unmarshalDense decodes the legacy version-1 body: every SI_y month
+// written unconditionally, all-zero months restored as nil to preserve
+// allocation laziness.
+func (m *Model) unmarshalDense(body []byte) error {
+	m.ipCacheKey = [ipCacheSlots]int32{}
+	r := &modelReader{data: body}
+	if err := m.decodeDenseScores(r); err != nil {
+		return err
+	}
+	for mo := range m.SIy {
+		var row SIMonth
+		zero := true
+		for d := range row {
+			for i := range row[d] {
+				if err := r.f64(&row[d][i], "body"); err != nil {
+					return err
+				}
+				if row[d][i] != 0 {
+					zero = false
+				}
+			}
+		}
+		if zero {
+			m.SIy[mo] = nil // preserve laziness for untouched months
+		} else {
+			rowCopy := row
+			m.SIy[mo] = &rowCopy
+		}
+	}
+	return m.decodeTail(r)
+}
+
+// decodeDenseScores reads the always-present SI_d/SI_w/SI_m tables.
+func (m *Model) decodeDenseScores(r *modelReader) error {
+	for i := range m.SId {
+		if err := r.f64(&m.SId[i], "body"); err != nil {
+			return err
+		}
+	}
+	for d := range m.SIw {
+		for i := range m.SIw[d] {
+			if err := r.f64(&m.SIw[d][i], "body"); err != nil {
+				return err
+			}
+		}
+	}
+	for d := range m.SIm {
+		for i := range m.SIm[d] {
+			if err := r.f64(&m.SIm[d][i], "body"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// decodeTail reads the weights, counters and options shared by both
+// versions, and rejects trailing garbage.
+func (m *Model) decodeTail(r *modelReader) error {
+	for i := range m.W {
+		if err := r.f64(&m.W[i], "tail"); err != nil {
+			return err
+		}
+	}
+	if err := r.f64(&m.activeSum, "tail"); err != nil {
+		return err
+	}
+	if err := r.i64(&m.activeCount, "tail"); err != nil {
+		return err
+	}
+	if err := r.i64(&m.hoursObserved, "tail"); err != nil {
+		return err
+	}
+	if err := r.i64(&m.hoursIdle, "tail"); err != nil {
+		return err
+	}
+	if err := r.f64(&m.opts.NoiseFloor, "tail"); err != nil {
+		return err
+	}
+	if err := r.f64(&m.opts.DescentRate, "tail"); err != nil {
+		return err
+	}
+	var steps int64
+	if err := r.i64(&steps, "tail"); err != nil {
+		return err
+	}
+	m.opts.DescentSteps = int(steps)
+	if r.off != len(r.data) {
+		return fmt.Errorf("core: %d trailing bytes after serialized model", len(r.data)-r.off)
+	}
+	return nil
+}
+
+// marshalDense encodes the legacy dense version-1 layout. It exists so
+// the codec tests can pin cross-version compatibility without keeping
+// frozen byte fixtures.
+func (m *Model) marshalDense() ([]byte, error) {
+	totalScores := denseScores + scoresPerMonth*simtime.MonthsPerYear
 	buf := bytes.NewBuffer(make([]byte, 0, 16+8*(totalScores+NumScales+4)))
-	var head = []uint32{codecMagic, codecVersion}
+	var head = []uint32{codecMagic, codecVersionDense}
 	for _, v := range head {
 		if err := binary.Write(buf, binary.LittleEndian, v); err != nil {
 			return nil, err
@@ -72,102 +358,4 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	writeF(m.opts.DescentRate)
 	_ = binary.Write(buf, binary.LittleEndian, int64(m.opts.DescentSteps))
 	return buf.Bytes(), nil
-}
-
-// UnmarshalBinary decodes a model previously encoded by MarshalBinary.
-func (m *Model) UnmarshalBinary(data []byte) error {
-	r := bytes.NewReader(data)
-	var magic, version uint32
-	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
-		return fmt.Errorf("core: truncated model header: %w", err)
-	}
-	if magic != codecMagic {
-		return fmt.Errorf("core: bad magic %#x", magic)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
-		return fmt.Errorf("core: truncated model header: %w", err)
-	}
-	if version != codecVersion {
-		return fmt.Errorf("core: unsupported model version %d", version)
-	}
-	// The scores about to be decoded replace the current ones; drop any
-	// cached gathers derived from them.
-	m.ipCacheKey = [ipCacheSlots]int32{}
-	readF := func(dst *float64) error {
-		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
-			return fmt.Errorf("core: truncated model body: %w", err)
-		}
-		if math.IsNaN(*dst) {
-			return fmt.Errorf("core: NaN in serialized model")
-		}
-		return nil
-	}
-	for i := range m.SId {
-		if err := readF(&m.SId[i]); err != nil {
-			return err
-		}
-	}
-	for d := range m.SIw {
-		for i := range m.SIw[d] {
-			if err := readF(&m.SIw[d][i]); err != nil {
-				return err
-			}
-		}
-	}
-	for d := range m.SIm {
-		for i := range m.SIm[d] {
-			if err := readF(&m.SIm[d][i]); err != nil {
-				return err
-			}
-		}
-	}
-	for mo := range m.SIy {
-		var row SIMonth
-		zero := true
-		for d := range row {
-			for i := range row[d] {
-				if err := readF(&row[d][i]); err != nil {
-					return err
-				}
-				if row[d][i] != 0 {
-					zero = false
-				}
-			}
-		}
-		if zero {
-			m.SIy[mo] = nil // preserve laziness for untouched months
-		} else {
-			r := row
-			m.SIy[mo] = &r
-		}
-	}
-	for i := range m.W {
-		if err := readF(&m.W[i]); err != nil {
-			return err
-		}
-	}
-	if err := readF(&m.activeSum); err != nil {
-		return err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &m.activeCount); err != nil {
-		return fmt.Errorf("core: truncated model tail: %w", err)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &m.hoursObserved); err != nil {
-		return fmt.Errorf("core: truncated model tail: %w", err)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &m.hoursIdle); err != nil {
-		return fmt.Errorf("core: truncated model tail: %w", err)
-	}
-	if err := readF(&m.opts.NoiseFloor); err != nil {
-		return err
-	}
-	if err := readF(&m.opts.DescentRate); err != nil {
-		return err
-	}
-	var steps int64
-	if err := binary.Read(r, binary.LittleEndian, &steps); err != nil {
-		return fmt.Errorf("core: truncated model tail: %w", err)
-	}
-	m.opts.DescentSteps = int(steps)
-	return nil
 }

@@ -1,0 +1,344 @@
+package dcsim
+
+import (
+	"fmt"
+
+	"drowsydc/internal/checkpoint"
+	"drowsydc/internal/cluster"
+	"drowsydc/internal/metrics"
+	"drowsydc/internal/netsim"
+	"drowsydc/internal/power"
+	"drowsydc/internal/simtime"
+	"drowsydc/internal/suspend"
+)
+
+// policyState is the optional checkpoint surface of a policy: policies
+// whose decisions depend on accumulated run history (neat's utilization
+// history, and drowsy, which embeds it) implement it; purely
+// trace-driven policies (oasis rebuilds its idle rings from VM activity
+// alone) do not and are checkpointed as stateless.
+type policyState interface {
+	CheckpointState() ([]byte, error)
+	RestoreState(data []byte) error
+}
+
+// captureState snapshots the complete run state at the boundary of hour
+// hr (every hour below hr simulated, none at or above). It runs in the
+// serial phase — hour boundaries are the only instants the shards'
+// state is globally consistent.
+func (r *Runner) captureState(hr simtime.Hour) *checkpoint.RunState {
+	st := &checkpoint.RunState{
+		Hour:          int64(hr),
+		StartHour:     int64(r.cfg.StartHour),
+		HorizonHours:  int64(r.cfg.Hours),
+		Policy:        r.policy.Name(),
+		Migrations:    int64(r.cluster.Migrations()),
+		MigrationSecs: r.cluster.MigrationSeconds(),
+	}
+	if ps, ok := r.policy.(policyState); ok {
+		data, err := ps.CheckpointState()
+		if err != nil {
+			panic(fmt.Sprintf("dcsim: policy %q checkpoint: %v", r.policy.Name(), err))
+		}
+		st.PolicyState = data
+	}
+	for _, v := range r.cluster.VMs() {
+		vs := checkpoint.VMState{ID: int32(v.ID), Migrations: int32(v.Migrations())}
+		if h := v.Host(); h != nil {
+			if at, ok := r.rts[h.ID].timerAt[v.ID]; ok {
+				vs.HasTimer = true
+				vs.TimerAt = int64(at)
+			}
+		}
+		data, err := v.Model.MarshalBinary()
+		if err != nil {
+			panic(fmt.Sprintf("dcsim: VM %d model checkpoint: %v", v.ID, err))
+		}
+		vs.Model = data
+		st.VMs = append(st.VMs, vs)
+	}
+	for _, h := range r.cluster.Hosts() {
+		rt := r.rts[h.ID]
+		ms := rt.machine.CheckpointState()
+		mon := rt.monitor.CheckpointState()
+		hs := checkpoint.HostState{
+			ID:           int32(h.ID),
+			PState:       uint8(ms.State),
+			Since:        ms.Since,
+			Util:         ms.Util,
+			Joules:       ms.Joules,
+			StateJoules:  ms.StateJoules,
+			SuspSecs:     ms.SuspSecs,
+			OffSecs:      ms.OffSecs,
+			TotalRef:     ms.TotalRef,
+			Transits:     int64(ms.Transits),
+			Resumes:      int64(ms.Resumes),
+			GraceUntil:   int64(mon.GraceUntil),
+			MonSuspended: mon.Suspended,
+			Decisions:    mon.Decisions,
+			VetoGrace:    mon.VetoGrace,
+			VetoBusy:     mon.VetoBusy,
+			ResumedAt:    int64(rt.resumedAt),
+		}
+		for _, v := range h.VMs() {
+			hs.VMIDs = append(hs.VMIDs, int32(v.ID))
+		}
+		if at, ok := rt.sh.wm.PendingWakeDate(netsim.MAC(h.ID)); ok {
+			hs.HasWake = true
+			hs.WakeAt = int64(at)
+		}
+		st.Hosts = append(st.Hosts, hs)
+	}
+	for _, sh := range r.shards {
+		scheduled, packet, _ := sh.wm.Stats()
+		st.Shards = append(st.Shards, checkpoint.ShardState{
+			Latency:        sh.latency.Export(),
+			WakeLatency:    sh.wakeLatency.Export(),
+			ScheduledWakes: scheduled,
+			PacketWakes:    packet,
+			WakeAttempts:   sh.wake.Attempts,
+			WakeRetries:    sh.wake.Retries,
+			LostWakes:      sh.wake.LostWakes,
+			RelayedWakes:   sh.wake.RelayedWakes,
+			LostSLASeconds: sh.wake.LostSLASeconds,
+			PathJoules:     sh.wake.PathJoules,
+			EventHours:     int64(sh.eventHours),
+		})
+	}
+	if r.net != nil {
+		st.HasNet = true
+		st.NetSerials = r.net.Serials()
+	}
+	return st
+}
+
+// ResumeRunner builds a runner that continues a checkpointed run. c
+// must be the pristine initial cluster of the original run (same VMs,
+// hosts, traces and IDs — scenario materialization is deterministic,
+// so re-materializing the cell reproduces it), cfg the original
+// configuration, and st a state captured by that run. The resumed run's
+// Result is bit-identical to the straight-through run at any
+// ShardWorkers count.
+//
+// Restrictions: a resumed run cannot carry a Probe (per-hour samples
+// before the checkpoint are gone — the flight recorder would silently
+// report a truncated history), and must disable colocation tracking
+// (the matrix accumulates across every simulated hour and is not
+// checkpointed). Both are rejected with errors, not silently dropped.
+func ResumeRunner(cfg Config, c *cluster.Cluster, policy cluster.Policy, st *checkpoint.RunState) (*Runner, error) {
+	if cfg.Probe != nil {
+		return nil, fmt.Errorf("dcsim: a resumed run cannot attach a probe")
+	}
+	if !cfg.DisableColocation {
+		return nil, fmt.Errorf("dcsim: a resumed run requires DisableColocation (the colocation matrix is not checkpointed)")
+	}
+	if st.Policy != policy.Name() {
+		return nil, fmt.Errorf("dcsim: checkpoint from policy %q cannot resume policy %q", st.Policy, policy.Name())
+	}
+	if int64(cfg.StartHour) != st.StartHour || int64(cfg.Hours) != st.HorizonHours {
+		return nil, fmt.Errorf("dcsim: checkpoint from a [%d,+%d) run cannot resume a [%d,+%d) run",
+			st.StartHour, st.HorizonHours, cfg.StartHour, cfg.Hours)
+	}
+	idx := st.Hour - st.StartHour
+	if idx <= 0 || idx >= st.HorizonHours {
+		return nil, fmt.Errorf("dcsim: checkpoint hour %d outside run (%d,+%d)", st.Hour, st.StartHour, st.HorizonHours)
+	}
+	r := NewRunner(cfg, c, policy)
+	hr := simtime.Hour(st.Hour)
+	t0 := hr.Start()
+	// Advance the shard engines to the boundary: at capture time every
+	// event due at or before t0 had fired, so the queues were empty of
+	// past work and only the clock needs to move.
+	for _, sh := range r.shards {
+		sh.engine.RunUntil(t0)
+	}
+	// Replay the membership changes of the consumed arrival/departure
+	// schedule. Placements are not replayed — they come verbatim from
+	// the serialized host assignment below.
+	rest := r.pending[:0]
+	for _, a := range r.pending {
+		if a.At < hr {
+			c.AddVM(a.VM)
+		} else {
+			rest = append(rest, a)
+		}
+	}
+	r.pending = rest
+	remaining := r.departs[:0]
+	for _, d := range r.departs {
+		if d.At < hr {
+			c.Remove(d.VM)
+		} else {
+			remaining = append(remaining, d)
+		}
+	}
+	r.departs = remaining
+
+	// The serialized VM set must match the reconstructed registry
+	// exactly; its order then becomes the registry order (arrivals
+	// appended hour by hour, departures spliced out — policy-visible).
+	byID := make(map[int]*cluster.VM, len(c.VMs()))
+	for _, v := range c.VMs() {
+		byID[v.ID] = v
+	}
+	if len(st.VMs) != len(c.VMs()) {
+		return nil, fmt.Errorf("dcsim: checkpoint holds %d VMs, the schedule reconstructs %d", len(st.VMs), len(c.VMs()))
+	}
+	ordered := make([]*cluster.VM, len(st.VMs))
+	vsOf := make(map[int]*checkpoint.VMState, len(st.VMs))
+	for i := range st.VMs {
+		vs := &st.VMs[i]
+		id := int(vs.ID)
+		if _, dup := vsOf[id]; dup {
+			return nil, fmt.Errorf("dcsim: checkpoint holds VM %d twice", id)
+		}
+		v, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("dcsim: checkpoint VM %d is not in the reconstructed registry", id)
+		}
+		vsOf[id] = vs
+		ordered[i] = v
+		if err := v.Model.UnmarshalBinary(vs.Model); err != nil {
+			return nil, fmt.Errorf("dcsim: VM %d model: %w", id, err)
+		}
+		v.RestoreMigrations(int(vs.Migrations))
+	}
+	c.RestorePopulation(ordered)
+
+	if len(st.Hosts) != len(c.Hosts()) {
+		return nil, fmt.Errorf("dcsim: checkpoint holds %d hosts, the cluster has %d", len(st.Hosts), len(c.Hosts()))
+	}
+	prevStart := (hr - 1).Start()
+	for i, h := range c.Hosts() {
+		hs := &st.Hosts[i]
+		if int(hs.ID) != h.ID {
+			return nil, fmt.Errorf("dcsim: checkpoint host %d at index %d, cluster has host %d", hs.ID, i, h.ID)
+		}
+		rt := r.rts[h.ID]
+		// Re-place residents in serialized host-local order: utilization
+		// sums and probability means iterate residency order, so it must
+		// be reproduced, not merely made set-equal.
+		for _, id := range hs.VMIDs {
+			v, ok := byID[int(id)]
+			if !ok {
+				return nil, fmt.Errorf("dcsim: host %d holds unknown VM %d", hs.ID, id)
+			}
+			if err := c.Place(v, h); err != nil {
+				return nil, fmt.Errorf("dcsim: restore placement of VM %d on host %d: %w", id, hs.ID, err)
+			}
+			r.attach(v, rt)
+			// The VM's registered hour-timer, when present, lives on its
+			// current host. Only timers still pending in the OS heap are
+			// re-queued: the runtime's last PopExpired ran at the previous
+			// boundary, so anything at or before it was already popped
+			// (but stays in the runtime map, which refreshes stale dates).
+			if vs := vsOf[int(id)]; vs.HasTimer {
+				at := simtime.Time(vs.TimerAt)
+				rt.timerAt[int(id)] = at
+				if at > prevStart {
+					rt.os.RegisterTimer(rt.procOf[int(id)], at)
+				}
+			}
+		}
+		if err := rt.machine.RestoreState(power.MachineState{
+			State:       power.State(hs.PState),
+			Since:       hs.Since,
+			Util:        hs.Util,
+			Joules:      hs.Joules,
+			StateJoules: hs.StateJoules,
+			SuspSecs:    hs.SuspSecs,
+			OffSecs:     hs.OffSecs,
+			TotalRef:    hs.TotalRef,
+			Transits:    int(hs.Transits),
+			Resumes:     int(hs.Resumes),
+		}); err != nil {
+			return nil, fmt.Errorf("dcsim: host %d machine: %w", hs.ID, err)
+		}
+		rt.monitor.RestoreState(suspend.MonitorState{
+			GraceUntil: simtime.Time(hs.GraceUntil),
+			Suspended:  hs.MonSuspended,
+			Decisions:  hs.Decisions,
+			VetoGrace:  hs.VetoGrace,
+			VetoBusy:   hs.VetoBusy,
+		})
+		rt.resumedAt = simtime.Time(hs.ResumedAt)
+		switch power.State(hs.PState) {
+		case power.StateActive:
+			// Columns default to awake.
+		case power.StateSuspended:
+			r.cols.SetHostAwake(rt.cidx, false)
+			r.cols.SetHostSuspended(rt.cidx, true)
+			// Re-register the sleeper with its waking module: the switch's
+			// VM→MAC mappings always reflect residency at suspension (a
+			// migration endpoint is woken first), so current residency is
+			// exact; a pending waking date re-queues the ahead-of-time WoL
+			// at its original fire instant (still in the future — it would
+			// have fired before the boundary otherwise).
+			vms := make([]netsim.VMID, 0, h.NumVMs())
+			for _, v := range h.VMs() {
+				vms = append(vms, netsim.VMID(v.ID))
+			}
+			rt.sh.wm.HostSuspended(netsim.MAC(h.ID), vms, simtime.Time(hs.WakeAt), hs.HasWake)
+		case power.StateOff:
+			r.cols.SetHostAwake(rt.cidx, false)
+		default:
+			return nil, fmt.Errorf("dcsim: host %d checkpointed mid-transition (power state %d)", hs.ID, hs.PState)
+		}
+		if hs.HasWake && power.State(hs.PState) != power.StateSuspended {
+			return nil, fmt.Errorf("dcsim: host %d has a pending wake but is not suspended", hs.ID)
+		}
+	}
+	// Every serialized timer must have found its VM placed: the runtime
+	// only keeps timers for attached VMs.
+	for i := range st.VMs {
+		if st.VMs[i].HasTimer && ordered[i].Host() == nil {
+			return nil, fmt.Errorf("dcsim: VM %d has a timer but no host", st.VMs[i].ID)
+		}
+	}
+
+	if len(st.Shards) != len(r.shards) {
+		return nil, fmt.Errorf("dcsim: checkpoint holds %d shards, the fleet partitions into %d (span %d)",
+			len(st.Shards), len(r.shards), r.cfg.ShardHostSpan)
+	}
+	for i, sh := range r.shards {
+		ss := &st.Shards[i]
+		for _, s := range ss.Latency {
+			sh.latency.RecordN(s.Seconds, int(s.Count))
+		}
+		for _, s := range ss.WakeLatency {
+			sh.wakeLatency.RecordN(s.Seconds, int(s.Count))
+		}
+		sh.wm.RestoreCounters(ss.ScheduledWakes, ss.PacketWakes)
+		sh.wake = metrics.WakeStats{
+			Attempts:       ss.WakeAttempts,
+			Retries:        ss.WakeRetries,
+			LostWakes:      ss.LostWakes,
+			RelayedWakes:   ss.RelayedWakes,
+			LostSLASeconds: ss.LostSLASeconds,
+			PathJoules:     ss.PathJoules,
+		}
+		sh.eventHours = int(ss.EventHours)
+	}
+
+	if st.HasNet != (r.net != nil) {
+		return nil, fmt.Errorf("dcsim: checkpoint network model presence (%v) does not match the configuration (%v)",
+			st.HasNet, r.net != nil)
+	}
+	if r.net != nil {
+		if err := r.net.RestoreSerials(st.NetSerials); err != nil {
+			return nil, err
+		}
+	}
+	c.RestoreMigrationLedger(int(st.Migrations), st.MigrationSecs)
+	if ps, ok := r.policy.(policyState); ok {
+		if err := ps.RestoreState(st.PolicyState); err != nil {
+			return nil, fmt.Errorf("dcsim: policy %q state: %w", policy.Name(), err)
+		}
+	} else if len(st.PolicyState) > 0 {
+		return nil, fmt.Errorf("dcsim: checkpoint carries policy state but %q cannot restore it", policy.Name())
+	}
+
+	r.restored = true
+	r.startIndex = int(idx)
+	return r, nil
+}

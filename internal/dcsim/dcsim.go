@@ -32,6 +32,7 @@
 package dcsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drowsydc/internal/checkpoint"
 	"drowsydc/internal/cluster"
 	"drowsydc/internal/core"
 	"drowsydc/internal/metrics"
@@ -173,6 +175,22 @@ type Config struct {
 	// non-deterministic sample field; everything else in a sample is
 	// identical across runs of the same configuration.
 	ProbeTimings bool
+	// Checkpoint, when non-nil, receives the serialized complete run
+	// state (internal/checkpoint) at every CheckpointEveryHours'th hour
+	// boundary — after the boundary's engine events fired, before the
+	// hour is played. A run resumed from the blob (ResumeRunner) is
+	// bit-identical to the straight-through run at any ShardWorkers
+	// count. A nil hook costs one branch per hour and changes nothing:
+	// capture reads state, it never mutates it.
+	Checkpoint func(hr simtime.Hour, data []byte)
+	// CheckpointEveryHours is the capture cadence (0 = 744 hours, the
+	// longest calendar month — one spill per simulated month).
+	CheckpointEveryHours int
+	// Context, when non-nil, cancels the run cooperatively: Run checks
+	// it at each hour boundary (non-blocking) and returns nil once it is
+	// done. Per-hour work is never interrupted mid-flight, so a
+	// cancelled runner leaves no half-played hour behind.
+	Context context.Context
 	// StartHour is the calendar hour at which the run begins.
 	StartHour simtime.Hour
 	// Hours is the length of the run.
@@ -222,6 +240,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShardHostSpan == 0 {
 		c.ShardHostSpan = 64
+	}
+	if c.CheckpointEveryHours == 0 {
+		c.CheckpointEveryHours = 744
 	}
 	return c
 }
@@ -367,6 +388,12 @@ type Runner struct {
 	// wall-clock phase timings (pre, host, observe, reduce).
 	probePrev  probeTotals
 	phaseNanos [4]int64
+
+	// Resume state (see checkpoint.go): restored marks a runner built by
+	// ResumeRunner — initial placement is skipped (placements came from
+	// the checkpoint) and the hour loop starts at startIndex.
+	restored   bool
+	startIndex int
 }
 
 // NewRunner builds a runner for a cluster whose VMs are already
@@ -644,30 +671,35 @@ func (r *Runner) hostProbability(rt *hostRT, hr simtime.Hour) float64 {
 }
 
 // Run executes the configured number of hours and returns the results.
+// When Config.Context is cancelled, Run returns nil at the next hour
+// boundary — the caller owns surfacing the cancellation.
 func (r *Runner) Run() *Result {
 	c := r.cluster
-	// Initial placement of unplaced VMs through the policy.
-	for _, v := range c.VMs() {
-		if v.Host() != nil {
-			r.attach(v, r.rts[v.Host().ID])
+	if !r.restored {
+		// Initial placement of unplaced VMs through the policy. A
+		// restored runner skips it: placements came from the checkpoint.
+		for _, v := range c.VMs() {
+			if v.Host() != nil {
+				r.attach(v, r.rts[v.Host().ID])
+			}
 		}
-	}
-	for _, v := range c.VMs() {
-		if v.Host() == nil {
-			h, err := r.policy.PlaceNew(c, v, r.cfg.StartHour)
-			if err != nil {
-				panic(fmt.Sprintf("dcsim: initial placement failed: %v", err))
+		for _, v := range c.VMs() {
+			if v.Host() == nil {
+				h, err := r.policy.PlaceNew(c, v, r.cfg.StartHour)
+				if err != nil {
+					panic(fmt.Sprintf("dcsim: initial placement failed: %v", err))
+				}
+				if err := c.Place(v, h); err != nil {
+					panic(err)
+				}
+				r.attach(v, r.rts[h.ID])
 			}
-			if err := c.Place(v, h); err != nil {
-				panic(err)
-			}
-			r.attach(v, r.rts[h.ID])
 		}
 	}
 
 	timed := r.cfg.Probe != nil && r.cfg.ProbeTimings
 	var tPhase time.Time
-	for i := 0; i < r.cfg.Hours; i++ {
+	for i := r.startIndex; i < r.cfg.Hours; i++ {
 		hr := r.cfg.StartHour + simtime.Hour(i)
 		t0 := hr.Start()
 		// Fire scheduled wakes due before this hour (the waking modules'
@@ -677,6 +709,19 @@ func (r *Runner) Run() *Result {
 		// single-engine walk exactly.
 		for _, sh := range r.shards {
 			sh.engine.RunUntil(t0)
+		}
+		// Cooperative cancellation and run checkpoints live at the hour
+		// boundary — the one instant the shards' state is globally
+		// consistent. Both are probe-style: nil hook, zero cost.
+		if r.cfg.Context != nil {
+			select {
+			case <-r.cfg.Context.Done():
+				return nil
+			default:
+			}
+		}
+		if r.cfg.Checkpoint != nil && i > r.startIndex && i%r.cfg.CheckpointEveryHours == 0 {
+			r.cfg.Checkpoint(hr, checkpoint.Encode(r.captureState(hr)))
 		}
 		// Flight recorder: the previous hour is complete (its boundary
 		// events just fired), so sample it before this hour mutates

@@ -140,6 +140,16 @@ func (p *Policy) RecordHour(c *cluster.Cluster, hr simtime.Hour) {
 // IPEvaluations returns the cumulative number of per-VM IP evaluations.
 func (p *Policy) IPEvaluations() uint64 { return p.ipEvaluations }
 
+// CheckpointState serializes the policy's durable state for run
+// checkpoints: the wrapped Neat utilization history. Everything else in
+// the policy is configuration, round-scratch buffers rebuilt each
+// rebalance, or the ipEvaluations counter (visible only to the §VII
+// complexity experiment, which does not checkpoint).
+func (p *Policy) CheckpointState() ([]byte, error) { return p.opts.Neat.CheckpointState() }
+
+// RestoreState restores a previously captured CheckpointState.
+func (p *Policy) RestoreState(data []byte) error { return p.opts.Neat.RestoreState(data) }
+
 // vmIP reads a VM's IP for the next interval and counts the evaluation.
 func (p *Policy) vmIP(v *cluster.VM, hr simtime.Hour) float64 {
 	p.ipEvaluations++

@@ -393,3 +393,28 @@ func (l *LatencyStats) Quantile(q float64) float64 {
 	}
 	return values[len(values)-1]
 }
+
+// LatencySample is one run-length-encoded latency value, for checkpoint
+// serialization of a collector's multiset.
+type LatencySample struct {
+	Seconds float64
+	Count   int64
+}
+
+// Export returns the collector's multiset as run-length-encoded samples
+// sorted by latency value — a deterministic encoding of map state, for
+// run checkpoints. Replaying the samples through RecordN on a fresh
+// collector with the same SLA target reconstructs every aggregate
+// (total, withinSLA, max) exactly, because all of them are
+// order-independent functions of the multiset.
+func (l *LatencyStats) Export() []LatencySample {
+	out := make([]LatencySample, 0, len(l.counts))
+	for v, n := range l.counts {
+		out = append(out, LatencySample{Seconds: v, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out
+}
+
+// SLASeconds returns the collector's SLA target.
+func (l *LatencyStats) SLASeconds() float64 { return l.slaSeconds }

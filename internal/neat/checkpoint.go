@@ -1,0 +1,90 @@
+package neat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Checkpoint serialization of the policy's only mutable state: the
+// per-host utilization history RecordHour accumulates. The history is a
+// function of past *placements*, not of traces alone, so a resumed run
+// cannot rebuild it — it must travel in the checkpoint. The wrapped
+// detectors (THR/MAD/IQR/LR) are stateless; everything else in Policy
+// is configuration.
+//
+// Layout (little-endian): u32 host count, then per host sorted by ID:
+// i64 host ID, u32 sample count, samples as float64. Sorting makes the
+// encoding a deterministic function of the map, so re-encoding a
+// restored policy is byte-identical.
+
+// CheckpointState serializes the utilization history.
+func (p *Policy) CheckpointState() ([]byte, error) {
+	ids := make([]int, 0, len(p.history))
+	for id := range p.history {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	size := 4
+	for _, id := range ids {
+		size += 12 + 8*len(p.history[id])
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
+		hist := p.history[id]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hist)))
+		for _, v := range hist {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// RestoreState replaces the utilization history with a previously
+// captured one. Malformed input is rejected with a descriptive error;
+// the policy is left unchanged on failure.
+func (p *Policy) RestoreState(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("neat: truncated history header: %d bytes", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	off := 4
+	hist := make(map[int][]float64, n)
+	var prevID int64
+	for i := uint32(0); i < n; i++ {
+		if off+12 > len(data) {
+			return fmt.Errorf("neat: truncated history entry %d", i)
+		}
+		id := int64(binary.LittleEndian.Uint64(data[off:]))
+		cnt := binary.LittleEndian.Uint32(data[off+8:])
+		off += 12
+		if i > 0 && id <= prevID {
+			return fmt.Errorf("neat: history host IDs not strictly increasing (%d after %d)", id, prevID)
+		}
+		prevID = id
+		if cnt > HistoryLen {
+			return fmt.Errorf("neat: history for host %d has %d samples, cap is %d", id, cnt, HistoryLen)
+		}
+		if off+8*int(cnt) > len(data) {
+			return fmt.Errorf("neat: truncated history samples for host %d", id)
+		}
+		samples := make([]float64, cnt)
+		for j := range samples {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+			if math.IsNaN(v) {
+				return fmt.Errorf("neat: NaN utilization sample for host %d", id)
+			}
+			samples[j] = v
+		}
+		hist[int(id)] = samples
+	}
+	if off != len(data) {
+		return fmt.Errorf("neat: %d trailing bytes after history", len(data)-off)
+	}
+	p.history = hist
+	return nil
+}

@@ -272,3 +272,22 @@ func (lm *LossModel) dropped(mac MAC, serial uint64) bool {
 	h := timeline.MixSeed(lm.cfg.Seed, uint64(mac), serial)
 	return float64(h>>11)/float64(1<<53) < lm.cfg.WakeLoss
 }
+
+// Serials returns a copy of the per-MAC attempt serials, for run
+// checkpoints. Together with the seed they fully determine every future
+// drop fate (Resolve hashes (seed, MAC, serial) with no other state).
+func (l *LossModel) Serials() []uint64 {
+	return append([]uint64(nil), l.serial...)
+}
+
+// RestoreSerials overwrites the per-MAC attempt serials with previously
+// captured values. The length must match the fleet the model was built
+// for — a mismatch means the checkpoint belongs to a different topology.
+func (l *LossModel) RestoreSerials(serials []uint64) error {
+	if len(serials) != len(l.serial) {
+		return fmt.Errorf("netsim: restoring %d attempt serials into a %d-host loss model",
+			len(serials), len(l.serial))
+	}
+	copy(l.serial, serials)
+	return nil
+}

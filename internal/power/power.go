@@ -297,3 +297,60 @@ func (m *Machine) SnapshotAt(now float64) Snapshot {
 	}
 	return s
 }
+
+// MachineState is the complete serializable state of a Machine minus
+// its profile (profiles are reconstructed from configuration at
+// restore). It exists for deterministic run checkpoints: restoring it
+// into a machine built from the same profile reproduces the energy
+// ledger bit-for-bit, because every field below is copied verbatim —
+// no recomputation, no rounding.
+type MachineState struct {
+	State       State
+	Since       float64
+	Util        float64
+	Joules      float64
+	StateJoules [NumStates]float64
+	SuspSecs    float64
+	OffSecs     float64
+	TotalRef    float64
+	Transits    int
+	Resumes     int
+}
+
+// CheckpointState captures the machine's full mutable state.
+func (m *Machine) CheckpointState() MachineState {
+	return MachineState{
+		State:       m.state,
+		Since:       m.since,
+		Util:        m.util,
+		Joules:      m.joules,
+		StateJoules: m.stateJoules,
+		SuspSecs:    m.suspSecs,
+		OffSecs:     m.offSecs,
+		TotalRef:    m.totalRef,
+		Transits:    m.transits,
+		Resumes:     m.resumes,
+	}
+}
+
+// RestoreState overwrites the machine's mutable state with a previously
+// captured one. The profile is untouched: the caller guarantees the
+// machine was built from the same profile the state was captured under.
+// Invalid states are rejected rather than panicking — checkpoint bytes
+// come from disk, not from the scheduler.
+func (m *Machine) RestoreState(s MachineState) error {
+	if s.State < StateActive || s.State > StateOff {
+		return fmt.Errorf("power: restore with unknown state %d", s.State)
+	}
+	m.state = s.State
+	m.since = s.Since
+	m.util = s.Util
+	m.joules = s.Joules
+	m.stateJoules = s.StateJoules
+	m.suspSecs = s.SuspSecs
+	m.offSecs = s.OffSecs
+	m.totalRef = s.TotalRef
+	m.transits = s.Transits
+	m.resumes = s.Resumes
+	return nil
+}

@@ -1,15 +1,19 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync/atomic"
 
+	"drowsydc/internal/checkpoint"
 	"drowsydc/internal/dcsim"
 	"drowsydc/internal/exp"
 	"drowsydc/internal/metrics"
 	"drowsydc/internal/power"
+	"drowsydc/internal/simtime"
 )
 
 // Options tunes scenario execution, not its physics: every combination
@@ -47,6 +51,16 @@ type Options struct {
 	// probe samples (dcsim.Config.ProbeTimings) — the one
 	// non-deterministic sample field, off by default.
 	ProbeTimings bool
+	// Context, when non-nil, cancels in-flight simulation cells
+	// cooperatively at their next hour boundary: Run/RunSweep wait for
+	// every started cell to reach a boundary, then return the context's
+	// error. An uncancelled context changes nothing.
+	Context context.Context
+	// Checkpoint, when non-nil, attaches deterministic run
+	// checkpointing: state capture into Checkpoint.Sink at the cadence
+	// boundary, and per-cell resume from Checkpoint.Resume blobs.
+	// Reports stay byte-identical with or without it (see crash.go).
+	Checkpoint *CheckpointPlan
 }
 
 // PolicyResult is one comparison column of a scenario run.
@@ -158,11 +172,15 @@ func Run(sc Scenario, opt Options) (*Report, error) {
 			probes[i] = opt.Probe(i, pc.Label)
 		}
 	}
-	results := exp.ParMap(opt.Workers, len(cols), func(i int) *dcsim.Result {
-		r := runCell(sc, cols[i], stores, probes[i], opt.ProbeTimings)
+	outs := exp.ParMap(opt.Workers, len(cols), func(i int) cellOutcome {
+		res, err := runCell(sc, i, cols[i], stores, probes[i], opt)
 		progress()
-		return r
+		return cellOutcome{res, err}
 	})
+	results, err := collect(outs)
+	if err != nil {
+		return nil, err
+	}
 	rep := assemble(sc, cols, results)
 	return &rep, nil
 }
@@ -193,8 +211,16 @@ func (opt Options) progressCounter(total int) func() {
 // runCell executes one (scenario, policy column) cell: a fully
 // independent deterministic simulation. Sweeps and plain runs share
 // this path, which is what makes a single-point sweep byte-identical to
-// the corresponding plain run.
-func runCell(sc Scenario, pc PolicyConfig, stores runStores, probe dcsim.Probe, probeTimings bool) *dcsim.Result {
+// the corresponding plain run. The deferred recover is the per-cell
+// panic isolation barrier: a panic anywhere in the cell (policy code, a
+// probe, the runtime) becomes a PanicError instead of unwinding through
+// the worker pool and killing the process.
+func runCell(sc Scenario, cell int, pc PolicyConfig, stores runStores, probe dcsim.Probe, opt Options) (res *dcsim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{Cell: cell, Policy: pc.Label, Value: v, Stack: debug.Stack()}
+		}
+	}()
 	c, arrivals, departures, profiles := sc.materialize(stores)
 	for id, p := range profiles {
 		profiles[id] = sc.Tuning.applyProfile(p)
@@ -206,29 +232,60 @@ func runCell(sc Scenario, pc PolicyConfig, stores runStores, probe dcsim.Probe, 
 		// either way).
 		shardWorkers = 1
 	}
-	return dcsim.NewRunner(dcsim.Config{
-		Profile:         sc.Tuning.applyProfile(power.DefaultProfile()),
-		HostProfiles:    profiles,
-		Hours:           sc.HorizonHours,
-		StartHour:       sc.Start,
-		EnableSuspend:   pc.Suspend,
-		UseGrace:        pc.Grace && !sc.Tuning.DisableGrace,
-		MaxGraceSeconds: sc.Tuning.MaxGraceSeconds,
-		NaiveResume:     pc.NaiveResume,
-		Resolution:      sc.Resolution,
-		RebalanceEvery:  sc.RebalanceEvery,
-		RequestsPerHour: sc.RequestsPerHour,
-		ShardWorkers:    shardWorkers,
-		ShardHostSpan:   sc.Tuning.shardHostSpan,
-		Network:         sc.Network.dcsimConfig(),
-		Probe:           probe,
-		ProbeTimings:    probeTimings,
-		Arrivals:        arrivals,
-		Departures:      departures,
+	cfg := dcsim.Config{
+		Profile:              sc.Tuning.applyProfile(power.DefaultProfile()),
+		HostProfiles:         profiles,
+		Hours:                sc.HorizonHours,
+		StartHour:            sc.Start,
+		EnableSuspend:        pc.Suspend,
+		UseGrace:             pc.Grace && !sc.Tuning.DisableGrace,
+		MaxGraceSeconds:      sc.Tuning.MaxGraceSeconds,
+		NaiveResume:          pc.NaiveResume,
+		Resolution:           sc.Resolution,
+		RebalanceEvery:       sc.RebalanceEvery,
+		RequestsPerHour:      sc.RequestsPerHour,
+		ShardWorkers:         shardWorkers,
+		ShardHostSpan:        sc.Tuning.shardHostSpan,
+		Network:              sc.Network.dcsimConfig(),
+		Probe:                probe,
+		ProbeTimings:         opt.ProbeTimings,
+		Context:              opt.Context,
+		CheckpointEveryHours: opt.Checkpoint.every(),
+		Arrivals:             arrivals,
+		Departures:           departures,
 		// Scenario reports never read the colocation matrix; its
 		// O(VMs²)-per-hour update would dominate fleet-scale runs.
 		DisableColocation: true,
-	}, c, exp.NewPolicy(pc.Policy)).Run()
+	}
+	if opt.Checkpoint != nil && opt.Checkpoint.Sink != nil {
+		sink := opt.Checkpoint.Sink
+		cfg.Checkpoint = func(hr simtime.Hour, data []byte) { sink(cell, pc.Label, hr, data) }
+	}
+	var runner *dcsim.Runner
+	if opt.Checkpoint != nil && opt.Checkpoint.Resume != nil {
+		if blob := opt.Checkpoint.Resume(cell, pc.Label); blob != nil {
+			st, derr := checkpoint.Decode(blob)
+			if derr != nil {
+				return nil, fmt.Errorf("scenario: cell %d (%s): decode checkpoint: %w", cell, pc.Label, derr)
+			}
+			runner, derr = dcsim.ResumeRunner(cfg, c, exp.NewPolicy(pc.Policy), st)
+			if derr != nil {
+				return nil, fmt.Errorf("scenario: cell %d (%s): resume: %w", cell, pc.Label, derr)
+			}
+		}
+	}
+	if runner == nil {
+		runner = dcsim.NewRunner(cfg, c, exp.NewPolicy(pc.Policy))
+	}
+	res = runner.Run()
+	if res == nil {
+		// The runner returns nil only on cooperative cancellation.
+		if opt.Context != nil && opt.Context.Err() != nil {
+			return nil, opt.Context.Err()
+		}
+		return nil, fmt.Errorf("scenario: cell %d (%s) produced no result", cell, pc.Label)
+	}
+	return res, nil
 }
 
 // assemble folds per-column simulation results into a Report.

@@ -425,11 +425,15 @@ func RunSweep(sc Scenario, opt Options) (*SweepReport, error) {
 	}
 	stores := opt.stores(storeSrc)
 	progress := opt.progressCounter(len(points) * len(cols))
-	cells := exp.ParMap(opt.Workers, len(points)*len(cols), func(i int) *dcsim.Result {
-		r := runCell(points[i/len(cols)], cols[i%len(cols)], stores, nil, false)
+	outs := exp.ParMap(opt.Workers, len(points)*len(cols), func(i int) cellOutcome {
+		res, err := runCell(points[i/len(cols)], i, cols[i%len(cols)], stores, nil, opt)
 		progress()
-		return r
+		return cellOutcome{res, err}
 	})
+	cells, err := collect(outs)
+	if err != nil {
+		return nil, err
+	}
 	rep := &SweepReport{
 		Scenario:    sc.Name,
 		Description: sc.Description,

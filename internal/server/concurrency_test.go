@@ -37,7 +37,7 @@ func stubReport(name string, p scenario.Params) *scenario.Report {
 // run requests at a gated stub and asserts exactly one simulation
 // runs: one miss, fifteen hits, sixteen byte-identical bodies.
 func TestSingleFlightConcurrentIdentical(t *testing.T) {
-	s := New(Config{Version: "test"})
+	s := mustNew(t, Config{Version: "test"})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -109,7 +109,7 @@ func TestSingleFlightConcurrentIdentical(t *testing.T) {
 // cache entry — and, where the stub echo can show it, produced
 // distinct bytes.
 func TestDistinctSpecsNeverCollide(t *testing.T) {
-	s := New(Config{Version: "test"})
+	s := mustNew(t, Config{Version: "test"})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	s.runFamily = func(name string, p scenario.Params, opt scenario.Options) (*scenario.Report, error) {
@@ -172,7 +172,7 @@ func TestDistinctSpecsNeverCollide(t *testing.T) {
 // fulfills the cache: the next identical request is a hit with the
 // correct bytes, and no second simulation runs.
 func TestCancellationLeavesCacheConsistent(t *testing.T) {
-	s := New(Config{Version: "test"})
+	s := mustNew(t, Config{Version: "test"})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -241,7 +241,7 @@ func TestCancellationLeavesCacheConsistent(t *testing.T) {
 // TestErrorsAreNotCached asserts a failed job leaves no cache entry:
 // the next identical request re-runs and can succeed.
 func TestErrorsAreNotCached(t *testing.T) {
-	s := New(Config{Version: "test"})
+	s := mustNew(t, Config{Version: "test"})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -16,7 +16,7 @@ import (
 // reports the deadline error while a job is still running and returns
 // nil once the pool is empty.
 func TestDrainWaitsForJobs(t *testing.T) {
-	s := New(Config{Version: "test"})
+	s := mustNew(t, Config{Version: "test"})
 	release := make(chan struct{})
 	started := make(chan struct{})
 	s.pool.Go(func() {
@@ -48,7 +48,7 @@ func TestDrainWaitsForJobs(t *testing.T) {
 // The stream flag rides in the body here, covering the non-query
 // spelling.
 func TestStreamingFailure(t *testing.T) {
-	s := New(Config{Version: "test"})
+	s := mustNew(t, Config{Version: "test"})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	s.runSweep = func(name string, p scenario.Params, sw scenario.Sweep, opt scenario.Options) (*scenario.SweepReport, error) {
@@ -76,7 +76,7 @@ func TestBuildVersion(t *testing.T) {
 	if v := buildVersion(); v == "" {
 		t.Fatal("buildVersion returned an empty string")
 	}
-	if s := New(Config{}); s.version == "" {
+	if s := mustNew(t, Config{}); s.version == "" {
 		t.Fatal("New left the cache-key version empty")
 	}
 }

@@ -12,9 +12,9 @@ import (
 // instrument middleware wraps the whole mux: every request flows
 // through a status-capturing writer, lands in the HTTP metrics, and —
 // when the Server was configured with an access-log writer — emits one
-// log line in the chosen format. /healthz is logged never and metered
-// always: liveness probes would drown the log, but their request count
-// is honest signal.
+// log line in the chosen format. /healthz and /readyz are logged never
+// and metered always: liveness/readiness probes would drown the log,
+// but their request count is honest signal.
 
 // statusWriter captures the status code and byte count of a response.
 // It forwards Flush so the streaming handlers' flusher assertion keeps
@@ -84,7 +84,7 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 			sw.status = http.StatusOK
 		}
 		s.observeRequest(r.URL.Path, sw.status, dur.Seconds())
-		if s.accessLog == nil || r.URL.Path == "/healthz" {
+		if s.accessLog == nil || r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
 			return
 		}
 		s.accessLog.log(r.Method, r.URL.Path,

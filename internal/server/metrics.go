@@ -56,6 +56,30 @@ func (s *Server) initMetrics() {
 		"Maximum concurrently running simulation jobs.",
 		func() float64 { return float64(s.pool.capacity()) })
 
+	r.CounterFunc("drowsyd_panics_total", "",
+		"Simulation panics contained by the per-job isolation barriers.",
+		func() uint64 { return s.panics.Load() })
+	r.CounterFunc("drowsyd_shed_total", "",
+		"Jobs rejected by the bounded admission queue (429 responses).",
+		func() uint64 { return s.sheds.Load() })
+	r.GaugeFunc("drowsyd_quarantined_specs", "",
+		"Specs currently refused (422) after repeated simulation panics.",
+		func() float64 { return float64(s.quarantinedCount()) })
+	r.CounterFunc("drowsyd_replayed_jobs_total", "",
+		"Journal jobs re-run (or resumed from spilled checkpoints) at startup.",
+		func() uint64 { return s.replayed.Load() })
+	r.CounterFunc("drowsyd_spill_errors_total", "",
+		"Checkpoint-spill and journal-maintenance failures (non-fatal).",
+		func() uint64 { return s.spillErrors.Load() })
+	r.GaugeFunc("drowsyd_ready", "",
+		"1 once journal replay settled and until draining starts, else 0.",
+		func() float64 {
+			if s.ready.Load() && !s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
 	r.GaugeFunc("drowsyd_store_entries", "",
 		"Distinct workload structures in the server-lifetime trace store.",
 		func() float64 { return float64(s.stores.Len()) })

@@ -75,7 +75,7 @@ func TestServeMetrics(t *testing.T) {
 // so pool_capacity does not follow the host's GOMAXPROCS, and the pool
 // is drained before reading so the running/queued gauges are settled.
 func TestServeStatsGolden(t *testing.T) {
-	s := New(Config{Version: "test", Workers: 2})
+	s := mustNew(t, Config{Version: "test", Workers: 2})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	post(t, ts, "/v1/run", obsSpec)
@@ -145,7 +145,7 @@ func TestServeTimeseries(t *testing.T) {
 // TestAccessLog covers both line formats and the /healthz exemption.
 func TestAccessLog(t *testing.T) {
 	var buf bytes.Buffer
-	s := New(Config{Version: "test", AccessLog: &buf, LogFormat: "json"})
+	s := mustNew(t, Config{Version: "test", AccessLog: &buf, LogFormat: "json"})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	post(t, ts, "/v1/run", obsSpec)
@@ -172,7 +172,7 @@ func TestAccessLog(t *testing.T) {
 	}
 
 	buf.Reset()
-	s2 := New(Config{Version: "test", AccessLog: &buf}) // default text format
+	s2 := mustNew(t, Config{Version: "test", AccessLog: &buf}) // default text format
 	ts2 := httptest.NewServer(s2.Handler())
 	t.Cleanup(ts2.Close)
 	get(t, ts2, "/v1/families")

@@ -16,20 +16,33 @@ import (
 // jobs are independent deterministic cells, so order carries no
 // meaning, exactly as in ParMap).
 type pool struct {
-	sem     chan struct{}
-	wg      sync.WaitGroup
-	queued  atomic.Int64
-	running atomic.Int64
+	sem      chan struct{}
+	maxQueue int64
+	wg       sync.WaitGroup
+	queued   atomic.Int64
+	running  atomic.Int64
 }
 
 // newPool sizes the pool; workers <= 0 selects GOMAXPROCS, mirroring
-// ParMap's convention.
-func newPool(workers int) *pool {
+// ParMap's convention. maxQueue bounds the admission queue consulted by
+// hasRoom (<= 0 selects the default of 64 waiting jobs).
+func newPool(workers, maxQueue int) *pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &pool{sem: make(chan struct{}, workers)}
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
+	return &pool{sem: make(chan struct{}, workers), maxQueue: int64(maxQueue)}
 }
+
+// hasRoom reports whether the admission queue can take another job.
+// The check is advisory — two concurrent admissions can both observe
+// room and overshoot the bound by one — which is fine: the bound sheds
+// load at the right order of magnitude, it is not a hard resource cap.
+// Internal submissions (journal replay) bypass it via Go directly: a
+// job the daemon already promised durability for is never shed.
+func (p *pool) hasRoom() bool { return p.queued.Load() < p.maxQueue }
 
 // Go enqueues fn and returns immediately. The job runs detached from
 // any request context: once a simulation is admitted it always runs to

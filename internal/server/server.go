@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"drowsydc/internal/obs"
@@ -37,20 +40,54 @@ type Config struct {
 	// LogFormat selects the access-log line format: "text" (default) or
 	// "json". Ignored without AccessLog.
 	LogFormat string
+	// StateDir, when non-empty, makes jobs durable: an fsync'd journal
+	// of admitted specs plus per-cell checkpoint spill files live under
+	// it, and on restart the pending backlog replays (resuming from
+	// spilled checkpoints) before /readyz reports ready. Empty keeps the
+	// daemon purely in-memory.
+	StateDir string
+	// MaxQueue bounds the admission queue: once this many jobs wait for
+	// a pool slot, new simulations are shed with 429 + Retry-After
+	// (0 = default 64).
+	MaxQueue int
+	// MaxSimBytes caps the estimated per-job simulation working set;
+	// jobs estimated above it are rejected with 413 and a descriptive
+	// error (0 = default 4 GiB). See estimateSimBytes.
+	MaxSimBytes int64
+	// CheckpointEveryHours sets the checkpoint spill cadence in
+	// simulated hours (0 = monthly, 744). Ignored without StateDir.
+	CheckpointEveryHours int
 }
 
 // Server is the drowsyd service: handlers, job pool, result cache and
 // the server-lifetime shared trace store.
 type Server struct {
-	limits    Limits
-	version   string
-	pool      *pool
-	cache     *resultCache
-	stores    *scenario.StoreCache
-	mux       *http.ServeMux
-	runs      atomic.Uint64
-	metrics   *obs.Registry
-	accessLog *accessLogger
+	limits      Limits
+	version     string
+	pool        *pool
+	cache       *resultCache
+	stores      *scenario.StoreCache
+	mux         *http.ServeMux
+	runs        atomic.Uint64
+	metrics     *obs.Registry
+	accessLog   *accessLogger
+	maxSimBytes int64
+
+	// Crash-safety state (see durable.go). durable is nil without a
+	// state dir; jobCtx is the root context every simulation runs under,
+	// cancelled in the second drain phase.
+	durable     *durableState
+	journalMu   sync.Mutex
+	jobCtx      context.Context
+	jobCancel   context.CancelFunc
+	ready       atomic.Bool
+	draining    atomic.Bool
+	panics      atomic.Uint64
+	sheds       atomic.Uint64
+	replayed    atomic.Uint64
+	spillErrors atomic.Uint64
+	quarMu      sync.Mutex
+	strikes     map[string]int
 
 	// Test seams: the production wiring points at scenario.RunFamily /
 	// scenario.RunFamilySweep; concurrency tests substitute gated stubs
@@ -59,17 +96,24 @@ type Server struct {
 	runSweep  func(name string, p scenario.Params, sw scenario.Sweep, opt scenario.Options) (*scenario.SweepReport, error)
 }
 
-// New builds a Server.
-func New(cfg Config) *Server {
+// New builds a Server. The only error path is durable-state
+// initialization (an unusable -state-dir must fail startup, not limp
+// along without the durability it was asked for).
+func New(cfg Config) (*Server, error) {
 	s := &Server{
-		limits:    cfg.Limits.withDefaults(),
-		version:   cfg.Version,
-		pool:      newPool(cfg.Workers),
-		cache:     newResultCache(),
-		stores:    scenario.NewStoreCache(),
-		runFamily: scenario.RunFamily,
-		runSweep:  scenario.RunFamilySweep,
+		limits:      cfg.Limits.withDefaults(),
+		version:     cfg.Version,
+		pool:        newPool(cfg.Workers, cfg.MaxQueue),
+		cache:       newResultCache(),
+		stores:      scenario.NewStoreCache(),
+		maxSimBytes: cfg.MaxSimBytes,
+		runFamily:   scenario.RunFamily,
+		runSweep:    scenario.RunFamilySweep,
 	}
+	if s.maxSimBytes <= 0 {
+		s.maxSimBytes = defaultMaxSimBytes
+	}
+	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
 	if s.version == "" {
 		s.version = buildVersion()
 	}
@@ -80,6 +124,11 @@ func New(cfg Config) *Server {
 		}
 		s.accessLog = &accessLogger{w: cfg.AccessLog, format: format}
 	}
+	if cfg.StateDir != "" {
+		if err := s.initDurable(cfg.StateDir, cfg.CheckpointEveryHours); err != nil {
+			return nil, err
+		}
+	}
 	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.handleRun)
@@ -89,7 +138,23 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	return s
+	s.mux.HandleFunc("/readyz", s.handleReady)
+	// Replay runs async behind the readiness gate; with no durable
+	// state it flips ready immediately.
+	go s.recoverPending()
+	return s, nil
+}
+
+// Close releases the durable state (the journal file). The pool should
+// be drained first; Close does not wait for jobs.
+func (s *Server) Close() error {
+	s.jobCancel()
+	if s.durable != nil {
+		s.journalMu.Lock()
+		defer s.journalMu.Unlock()
+		return s.durable.journal.Close()
+	}
+	return nil
 }
 
 // buildVersion derives the code-version cache-key component from the
@@ -109,11 +174,6 @@ func buildVersion() string {
 // Handler returns the daemon's HTTP handler: the route mux wrapped in
 // the metrics/access-log middleware.
 func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
-
-// Drain blocks until in-flight and queued simulation jobs finish or
-// ctx expires — the second half of graceful shutdown, after
-// http.Server.Shutdown has stopped new requests.
-func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
 
 // Stats is the observable state of the serving loop, surfaced by
 // GET /v1/stats. Hits count requests served from (or attached to) an
@@ -136,6 +196,15 @@ type Stats struct {
 	RunningJobs     int64  `json:"running_jobs"`
 	QueuedJobs      int64  `json:"queued_jobs"`
 	PoolCapacity    int    `json:"pool_capacity"`
+	// Crash-safety counters: jobs shed by the bounded queue (429s),
+	// simulation panics contained by the isolation barriers, specs
+	// currently quarantined after repeated panics, journal jobs replayed
+	// at startup, and spill/journal maintenance failures.
+	ShedJobs         uint64 `json:"shed_jobs"`
+	Panics           uint64 `json:"panics"`
+	QuarantinedSpecs int    `json:"quarantined_specs"`
+	ReplayedJobs     uint64 `json:"replayed_jobs"`
+	SpillErrors      uint64 `json:"spill_errors"`
 }
 
 // Stats snapshots the counters (exported for tests and the stats
@@ -153,6 +222,12 @@ func (s *Server) Stats() Stats {
 		RunningJobs:     s.pool.running.Load(),
 		QueuedJobs:      s.pool.queued.Load(),
 		PoolCapacity:    s.pool.capacity(),
+
+		ShedJobs:         s.sheds.Load(),
+		Panics:           s.panics.Load(),
+		QuarantinedSpecs: s.quarantinedCount(),
+		ReplayedJobs:     s.replayed.Load(),
+		SpillErrors:      s.spillErrors.Load(),
 	}
 }
 
@@ -214,18 +289,58 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKey("run", sc, spec.params(), s.version)
+	w.Header().Set("X-Drowsyd-Spec", specHash(key))
+	if err := s.checkBudget(sc); err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	if s.quarantined(specHash(key)) {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf(
+			"server: spec %s is quarantined after %d simulation panics; restart the daemon to retry it",
+			specHash(key), poisonStrikes))
+		return
+	}
 	if timeseries {
+		if !s.pool.hasRoom() {
+			s.shed(w)
+			return
+		}
 		s.respondTimeseries(w, r, spec, key)
 		return
 	}
 	e, leader := s.cache.lookup(key, sc.CellCount())
 	if leader {
-		s.startJob(key, e, func(opt scenario.Options) (jsonReport, error) {
+		s.admitJob(key, "run", spec, e, func(opt scenario.Options) (jsonReport, error) {
 			return s.runFamily(spec.Family, spec.params(), opt)
 		})
 	}
-	w.Header().Set("X-Drowsyd-Spec", specHash(key))
 	s.respond(w, r, e, leader, false)
+}
+
+// shed writes the 429 overload response with its retry advice.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.sheds.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, errShed.Error())
+}
+
+// admitJob is the leader's admission pipeline: overload shedding (the
+// bounded queue), durable journaling, then job start. A shed leader
+// fails its entry with errShed so its own response — and any follower
+// that joined the brief in-flight window — renders as 429, never as a
+// cached failure (fail removes the entry; the next identical request
+// retries admission from scratch).
+func (s *Server) admitJob(key, kind string, spec *JobSpec, e *entry, run func(scenario.Options) (jsonReport, error)) {
+	if !s.pool.hasRoom() {
+		s.sheds.Add(1)
+		s.cache.fail(key, e, errShed)
+		return
+	}
+	if err := s.journalAdmit(key, kind, spec); err != nil {
+		s.cache.fail(key, e, err)
+		return
+	}
+	s.startJob(key, e, run)
 }
 
 // respondTimeseries runs the job with a flight recorder attached and
@@ -246,9 +361,12 @@ func (s *Server) respondTimeseries(w http.ResponseWriter, r *http.Request, spec 
 	ch := make(chan result, 1) // buffered: the job must never block on a gone client
 	s.pool.Go(func() {
 		s.runs.Add(1)
-		rep, err := s.runFamily(spec.Family, spec.params(), scenario.Options{
-			Stores: s.stores,
-			Probe:  fr.ProbeFor,
+		rep, err, _ := s.runShielded(func() (jsonReport, error) {
+			return s.runFamily(spec.Family, spec.params(), scenario.Options{
+				Stores:  s.stores,
+				Context: s.jobCtx,
+				Probe:   fr.ProbeFor,
+			})
 		})
 		ch <- result{rep, err}
 	})
@@ -299,9 +417,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cacheKey("sweep", sc, spec.params(), s.version)
 	w.Header().Set("X-Drowsyd-Spec", specHash(key))
+	if err := s.checkBudget(sc); err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	if s.quarantined(specHash(key)) {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf(
+			"server: spec %s is quarantined after %d simulation panics; restart the daemon to retry it",
+			specHash(key), poisonStrikes))
+		return
+	}
 	e, leader := s.cache.lookup(key, sc.CellCount())
 	if leader {
-		s.startJob(key, e, func(opt scenario.Options) (jsonReport, error) {
+		s.admitJob(key, "sweep", spec, e, func(opt scenario.Options) (jsonReport, error) {
 			return s.runSweep(spec.Family, spec.params(),
 				scenario.Sweep{Param: spec.Param, Values: sc.Sweep.Values}, opt)
 		})
@@ -315,13 +443,19 @@ type jsonReport interface{ WriteJSON(io.Writer) error }
 
 // startJob submits the leader's simulation to the bounded pool. The
 // job runs detached from the request context (pool.Go documents why)
-// with the server-lifetime store cache wired in; its per-cell progress
-// is teed into the entry for streaming clients.
+// but under the server's root job context, so the drain path can cancel
+// it cooperatively at an hour boundary. Execution goes through the
+// panic barrier (runShielded); with durable state, checkpoints spill
+// under the state dir and the journal entry is tombstoned when the job
+// settles — except on drain cancellation, where it stays pending so the
+// next start resumes from the spills.
 func (s *Server) startJob(key string, e *entry, run func(scenario.Options) (jsonReport, error)) {
 	s.pool.Go(func() {
 		s.runs.Add(1)
 		opt := scenario.Options{
-			Stores: s.stores,
+			Stores:     s.stores,
+			Context:    s.jobCtx,
+			Checkpoint: s.planFor(key),
 			Progress: func(done, total int) {
 				select {
 				case e.progress <- progressEvent{Done: done, Total: total}:
@@ -329,17 +463,28 @@ func (s *Server) startJob(key string, e *entry, run func(scenario.Options) (json
 				}
 			},
 		}
-		rep, err := run(opt)
+		rep, err, panicked := s.runShielded(func() (jsonReport, error) { return run(opt) })
+		if panicked {
+			s.strike(specHash(key))
+		}
 		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				// Deterministic failure: replaying it would only fail
+				// again. Cancellation instead leaves the entry pending
+				// for resume-on-restart.
+				s.journalComplete(key)
+			}
 			s.cache.fail(key, e, err)
 			return
 		}
 		var buf bytes.Buffer
 		if err := rep.WriteJSON(&buf); err != nil {
+			s.journalComplete(key)
 			s.cache.fail(key, e, err)
 			return
 		}
 		s.cache.fulfill(e, buf.Bytes())
+		s.journalComplete(key)
 	})
 }
 
@@ -367,6 +512,11 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, e *entry, leade
 		return
 	}
 	if e.err != nil {
+		if errors.Is(e.err, errShed) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, e.err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, e.err.Error())
 		return
 	}
@@ -409,6 +559,11 @@ func (s *Server) respondStreaming(w http.ResponseWriter, r *http.Request, e *ent
 				break
 			}
 			if e.err != nil {
+				if errors.Is(e.err, errShed) {
+					w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+					writeError(w, http.StatusTooManyRequests, e.err.Error())
+					return
+				}
 				writeError(w, http.StatusInternalServerError, e.err.Error())
 				return
 			}

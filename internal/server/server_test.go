@@ -60,12 +60,23 @@ func serverGolden(t *testing.T, name string, got []byte) {
 	}
 }
 
+// mustNew builds a Server, failing the test on a durable-state init
+// error (the only error path New has).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // newTestServer builds a Server with a pinned cache-key version (so
 // test binaries with and without VCS stamping behave identically) and
 // an httptest listener in front of it.
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{Version: "test"})
+	s := mustNew(t, Config{Version: "test"})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

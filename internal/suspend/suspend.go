@@ -184,3 +184,36 @@ func (m *Monitor) DecisionOverhead() simtime.Duration { return m.cfg.DecisionOve
 func (m *Monitor) Stats() (decisions, graceVetoes, busyVetoes uint64) {
 	return m.decisions, m.vetoGrace, m.vetoBusy
 }
+
+// MonitorState is the complete serializable state of a Monitor minus
+// its configuration and OS handle (both reconstructed at restore), for
+// deterministic run checkpoints.
+type MonitorState struct {
+	GraceUntil simtime.Time
+	Suspended  bool
+	Decisions  uint64
+	VetoGrace  uint64
+	VetoBusy   uint64
+}
+
+// CheckpointState captures the monitor's full mutable state.
+func (m *Monitor) CheckpointState() MonitorState {
+	return MonitorState{
+		GraceUntil: m.graceUntil,
+		Suspended:  m.suspended,
+		Decisions:  m.decisions,
+		VetoGrace:  m.vetoGrace,
+		VetoBusy:   m.vetoBusy,
+	}
+}
+
+// RestoreState overwrites the monitor's mutable state with a previously
+// captured one. The caller guarantees the monitor was built with the
+// configuration the state was captured under.
+func (m *Monitor) RestoreState(s MonitorState) {
+	m.graceUntil = s.GraceUntil
+	m.suspended = s.Suspended
+	m.decisions = s.Decisions
+	m.vetoGrace = s.VetoGrace
+	m.vetoBusy = s.VetoBusy
+}

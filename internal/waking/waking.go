@@ -280,3 +280,25 @@ func (m *Module) String() string {
 	return fmt.Sprintf("waking[%s]{suspended=%d scheduled=%d failed=%v}",
 		m.Name, len(m.sw.SuspendedHosts()), len(m.schedule), m.failed)
 }
+
+// PendingWakeDate returns the registered waking date of a suspended
+// host's scheduled wake (the raw date, not the lead-adjusted fire
+// instant ScheduledFire reports) and whether one is pending. Run
+// checkpoints capture it so a restored module can re-register the exact
+// same schedule through HostSuspended.
+func (m *Module) PendingWakeDate(mac netsim.MAC) (simtime.Time, bool) {
+	t, ok := m.schedule[mac]
+	if !ok || !t.Active() {
+		return 0, false
+	}
+	return m.wakeDates[mac], true
+}
+
+// RestoreCounters overwrites the module's cumulative wake counters with
+// previously captured values, for run checkpoints. Takeovers are not
+// restorable (checkpointed scenario runs never exercise peer failover);
+// they restart at zero.
+func (m *Module) RestoreCounters(scheduledWakes, packetWakes uint64) {
+	m.scheduledWakes = scheduledWakes
+	m.packetWakes = packetWakes
+}
